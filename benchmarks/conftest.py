@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Set ``REPRO_FULL=1`` to run every kernel of every suite (the full 93-row
+reproduction of Tables 1 and 2); by default a representative subset is
+used so the whole harness completes in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.pipeline import PipelineOptions, STNGPipeline
+from repro.pipeline.stng import KernelReport
+from repro.suites import all_cases
+from repro.suites.base import KernelCase
+from repro.suites.registry import representative_cases
+
+
+def _selected_cases() -> List[KernelCase]:
+    if os.environ.get("REPRO_FULL") == "1":
+        return all_cases()
+    return representative_cases(per_suite=3)
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> STNGPipeline:
+    return STNGPipeline(PipelineOptions(autotune_budget=80, verifier_environments=1))
+
+
+@pytest.fixture(scope="session")
+def selected_cases() -> List[KernelCase]:
+    return _selected_cases()
+
+
+@pytest.fixture(scope="session")
+def lifted_reports(pipeline, selected_cases) -> Dict[str, List[KernelReport]]:
+    """Lift every selected kernel once and share the reports across benchmarks."""
+    by_suite: Dict[str, List[KernelReport]] = {}
+    for case in selected_cases:
+        reports = pipeline.lift_source(
+            case.source,
+            suite=case.suite,
+            stencil_flags={case.source.split("(")[0].split()[-1]: case.is_stencil},
+            points=case.points,
+        )
+        for report in reports:
+            report.name = case.name
+        by_suite.setdefault(case.suite, []).extend(reports)
+    return by_suite

@@ -1,0 +1,54 @@
+"""E4 — §6.5: lifting as deoptimization on the challenge problems.
+
+The hand-tiled 27-point kernels defeat the vendor compiler's
+auto-parallelisation (the paper reports the generated code being orders
+of magnitude slower), while the serial C regenerated from the lifted
+summary parallelises cleanly (up to ~9x).
+"""
+
+from __future__ import annotations
+
+from repro.backend.cgen import emit_serial_c
+from repro.backend.halidegen import postcondition_to_func
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.perfmodel import GFORTRAN, IFORT_PARALLEL, workload_from_func, workload_from_kernel
+from repro.perfmodel.compiler import IFORT_PARALLEL_CLEAN
+from repro.suites import cases_for_suite
+from repro.synthesis import synthesize_kernel
+
+
+def _challenge_case(name: str):
+    return next(c for c in cases_for_suite("Challenge") if c.name == name)
+
+
+def test_deoptimization_recovers_parallelism(benchmark, capsys):
+    case = _challenge_case("heat27b2")
+
+    def run():
+        kernel = lower_candidate(identify_candidates(parse_source(case.source)).candidates[0])
+        lifted = synthesize_kernel(kernel, seed=1, verifier_environments=1)
+        c_source, nests = emit_serial_c(lifted.post)
+        stencil = postcondition_to_func(lifted.post)[0]
+        original = workload_from_kernel(kernel, points=case.points)
+        clean = workload_from_func(stencil.func, name=kernel.name, points=case.points, dimensionality=3)
+        baseline = GFORTRAN.runtime(original)
+        icc_before = baseline / IFORT_PARALLEL.runtime(original)
+        icc_after = baseline / IFORT_PARALLEL_CLEAN.runtime(clean)
+        return c_source, nests, icc_before, icc_after
+
+    c_source, nests, icc_before, icc_after = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Deoptimization (§6.5, challenge heat27b2) ===")
+        print(f"ifort -parallel on the hand-tiled original : {icc_before:10.4f}x")
+        print(f"ifort -parallel on the regenerated clean C : {icc_after:10.2f}x")
+
+    # The regenerated code is a clean, affine, perfectly-nested loop nest...
+    assert all(n.affine_bounds and n.perfectly_nested and not n.has_conditionals for n in nests)
+    assert "for (long" in c_source
+    # ... the compiler chokes on the hand-optimised original (orders of
+    # magnitude, paper: ~1e-4x) but recovers a solid parallel speedup on the
+    # clean version (paper: up to ~9x).
+    assert icc_before < 0.1
+    assert icc_after > 2.0
+    assert icc_after / max(icc_before, 1e-9) > 100

@@ -1,0 +1,52 @@
+"""Deoptimization workflow (§6.5): from hand-tiled code to clean serial C.
+
+The challenge kernels are 27-point stencils hand-optimised with loop
+tiling; their non-affine bounds defeat vendor auto-parallelisation.
+This example lifts a tiled kernel, regenerates plain serial C from the
+verified summary, and compares the modelled auto-parallel speedups on
+the original versus the regenerated code.
+"""
+
+from __future__ import annotations
+
+from repro.backend.cgen import emit_serial_c
+from repro.backend.halidegen import postcondition_to_func
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.perfmodel import GFORTRAN, IFORT_PARALLEL, workload_from_func, workload_from_kernel
+from repro.perfmodel.compiler import IFORT_PARALLEL_CLEAN
+from repro.suites import cases_for_suite
+from repro.synthesis import synthesize_kernel
+
+
+def main() -> None:
+    case = next(c for c in cases_for_suite("Challenge") if c.name == "heat27b2")
+    print("== hand-tiled challenge kernel ==")
+    print(case.source)
+
+    kernel = lower_candidate(identify_candidates(parse_source(case.source)).candidates[0])
+    lifted = synthesize_kernel(kernel, seed=1, verifier_environments=1)
+    print(f"lifted in {lifted.synthesis_time:.1f}s "
+          f"({lifted.control_bits} control bits, {lifted.postcondition_ast_nodes} AST nodes, "
+          f"{len(lifted.candidate.invariants)} loop invariants)")
+
+    c_source, nests = emit_serial_c(lifted.post, function_name="heat27_clean")
+    print("\n== regenerated clean serial C ==")
+    print(c_source)
+    nest = nests[0]
+    print(f"clean nest: depth {nest.depth}, affine bounds: {nest.affine_bounds}, "
+          f"perfectly nested: {nest.perfectly_nested}")
+
+    stencil = postcondition_to_func(lifted.post)[0]
+    original = workload_from_kernel(kernel, points=case.points)
+    clean = workload_from_func(stencil.func, name=kernel.name, points=case.points, dimensionality=3)
+    baseline = GFORTRAN.runtime(original)
+    print("\n== modelled auto-parallelisation (ifort -parallel), relative to gfortran ==")
+    print(f"  on the hand-tiled original : {baseline / IFORT_PARALLEL.runtime(original):10.4f}x")
+    print(f"  on the regenerated clean C : {baseline / IFORT_PARALLEL_CLEAN.runtime(clean):10.2f}x")
+    print("(the paper reports four orders of magnitude slowdown on the originals "
+          "and up to ~9x after deoptimization)")
+
+
+if __name__ == "__main__":
+    main()

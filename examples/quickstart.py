@@ -1,0 +1,95 @@
+"""Quickstart: lift the paper's running example (Figure 1) end to end.
+
+Run with ``python examples/quickstart.py``.  The script parses the
+Fortran stencil of Figure 1(a), lifts it to the predicate-language
+summary of Figure 1(b)/(c), prints the generated Halide C++ of Figure
+1(d), and checks the generated pipeline against the original Fortran
+semantics on a random grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.halidegen import postcondition_to_func
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.halide.executor import realize
+from repro.predicates import format_invariant, format_postcondition
+from repro.semantics.exec import execute_kernel
+from repro.semantics.state import ArrayValue, State
+from repro.synthesis import synthesize_kernel
+
+FIGURE_1A = """
+procedure sten(imin,imax,jmin,jmax,a,b)
+real (kind=8), dimension(imin:imax,jmin:jmax) :: a
+real (kind=8), dimension(imin:imax,jmin:jmax) :: b
+do j=jmin,jmax
+t = b(imin, j)
+do i=imin+1,imax
+q = b(i,j)
+a(i,j) = q + t
+t = q
+enddo
+enddo
+end procedure
+"""
+
+
+def main() -> None:
+    # 1. Front end: find the candidate loop nest and lower it to the IR.
+    program = parse_source(FIGURE_1A)
+    candidates = identify_candidates(program)
+    kernel = lower_candidate(candidates.candidates[0])
+    print("== candidate kernel ==")
+    print(f"  {kernel.name} writing {[d.name for d in kernel.arrays]}")
+
+    # 2. Verified lifting: inductive template generation + CEGIS + verification.
+    result = synthesize_kernel(kernel, seed=1)
+    print("\n== lifted summary (postcondition, cf. Figure 1b) ==")
+    print(format_postcondition(result.post))
+    print("\n== loop invariants (cf. Figure 1c) ==")
+    for loop_id, invariant in result.candidate.invariants.items():
+        print(f"  [{loop_id}] {format_invariant(invariant)}")
+    print(f"\nsynthesis time: {result.synthesis_time:.3f}s, "
+          f"control bits: {result.control_bits}, "
+          f"postcondition AST nodes: {result.postcondition_ast_nodes}")
+
+    # 3. Backend: generate the Halide pipeline (Figure 1d).
+    stencils = postcondition_to_func(result.post)
+    print("\n== generated Halide C++ (cf. Figure 1d) ==")
+    print(stencils[0].cpp_source)
+
+    # 4. Check the generated pipeline against the original Fortran semantics.
+    imin, imax, jmin, jmax = 0, 8, 0, 6
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((imax - imin + 1, jmax - jmin + 1))
+
+    # Reference: interpret the original Fortran kernel.
+    state = State(scalars={"imin": imin, "imax": imax, "jmin": jmin, "jmax": jmax})
+    b_array = ArrayValue("b", default=lambda name, idx: float(b[idx[0] - imin, idx[1] - jmin]))
+    a_array = ArrayValue("a", default=lambda name, idx: 0.0)
+    state.arrays.update({"a": a_array, "b": b_array})
+    execute_kernel(kernel, state)
+
+    # Halide: realize the generated Func over the same domain.
+    halide_out = realize(
+        stencils[0].func,
+        domain=[(imin + 1, imax), (jmin, jmax)],
+        inputs={"b": b},
+        input_origins={"b": (imin, jmin)},
+    )
+
+    max_error = 0.0
+    for i in range(imin + 1, imax + 1):
+        for j in range(jmin, jmax + 1):
+            reference = a_array.load((i, j))
+            generated = halide_out[i - (imin + 1), j - jmin]
+            max_error = max(max_error, abs(float(reference) - float(generated)))
+    print(f"max |fortran - halide| over the output domain: {max_error:.2e}")
+    assert max_error < 1e-12, "generated pipeline disagrees with the original kernel"
+    print("generated Halide pipeline matches the original Fortran kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Schedule autotuning (OpenTuner substitute, §5.3).
+
+The generated Halide code is autotuned: an ensemble of search
+techniques, coordinated by a multi-armed bandit, explores the space of
+execution schedules and keeps the fastest one found within an
+evaluation budget.  Our objective function is the analytical runtime of
+:mod:`repro.perfmodel`, so tuning is deterministic and fast while still
+exercising the same search structure (techniques proposing candidates,
+the bandit reallocating trials toward whichever technique keeps
+winning).
+"""
+
+from repro.autotune.space import ScheduleSpace
+from repro.autotune.techniques import GreedyMutation, PatternSearch, RandomSearch, Technique
+from repro.autotune.tuner import AutotuneResult, MultiArmedBanditTuner, autotune
+
+__all__ = [
+    "AutotuneResult",
+    "GreedyMutation",
+    "MultiArmedBanditTuner",
+    "PatternSearch",
+    "RandomSearch",
+    "ScheduleSpace",
+    "Technique",
+    "autotune",
+]

@@ -1,0 +1,90 @@
+"""The schedule search space.
+
+A schedule for an N-dimensional stencil chooses: whether and which
+dimension to parallelise, per-dimension tile sizes (powers of two, or
+untiled), the SIMD width of the innermost dimension, an unroll factor
+and a traversal order.  The space is the cartesian product of those
+choices — far too large to enumerate for realistic stencils, which is
+why the tuner searches it stochastically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.halide.schedule import Schedule
+
+
+TILE_CHOICES: Tuple[int, ...] = (0, 8, 16, 32, 64, 128)
+VECTOR_CHOICES: Tuple[int, ...] = (1, 2, 4, 8)
+UNROLL_CHOICES: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass
+class ScheduleSpace:
+    """The space of schedules for one Func of a given dimensionality."""
+
+    dimensions: int
+
+    def size(self) -> int:
+        parallel = self.dimensions + 1
+        tiles = len(TILE_CHOICES) ** self.dimensions
+        orders = _factorial(self.dimensions)
+        return parallel * tiles * len(VECTOR_CHOICES) * len(UNROLL_CHOICES) * orders
+
+    # -- sampling -----------------------------------------------------------
+    def random_schedule(self, rng: random.Random) -> Schedule:
+        parallel_dim: Optional[int] = rng.choice([None] + list(range(self.dimensions)))
+        tiles = tuple(rng.choice(TILE_CHOICES) for _ in range(self.dimensions))
+        vector = rng.choice(VECTOR_CHOICES)
+        unroll = rng.choice(UNROLL_CHOICES)
+        order = list(range(self.dimensions))
+        if rng.random() < 0.3:
+            rng.shuffle(order)
+        schedule = Schedule(
+            parallel_dim=parallel_dim,
+            tile_sizes=tiles,
+            vector_width=vector,
+            unroll=unroll,
+            dim_order=tuple(order),
+        )
+        schedule.validate(self.dimensions)
+        return schedule
+
+    def default_schedule(self) -> Schedule:
+        return Schedule.default()
+
+    def sensible_schedule(self) -> Schedule:
+        """A reasonable hand-written starting point (parallel outer, vector inner)."""
+        return Schedule.baseline_parallel(self.dimensions)
+
+    # -- neighbourhood -------------------------------------------------------
+    def mutate(self, schedule: Schedule, rng: random.Random) -> Schedule:
+        """Change one coordinate of the schedule at random."""
+        choice = rng.randrange(5)
+        if choice == 0:
+            return schedule.with_parallel(rng.randrange(self.dimensions)) if self.dimensions else schedule
+        if choice == 1:
+            tiles = list(schedule.tile_sizes or (0,) * self.dimensions)
+            if tiles:
+                index = rng.randrange(len(tiles))
+                tiles[index] = rng.choice(TILE_CHOICES)
+            return schedule.with_tiles(tuple(tiles))
+        if choice == 2:
+            return schedule.with_vectorize(rng.choice(VECTOR_CHOICES))
+        if choice == 3:
+            return schedule.with_unroll(rng.choice(UNROLL_CHOICES))
+        order = list(schedule.dim_order or range(self.dimensions))
+        if len(order) >= 2:
+            a, b = rng.sample(range(len(order)), 2)
+            order[a], order[b] = order[b], order[a]
+        return schedule.with_order(tuple(order))
+
+
+def _factorial(n: int) -> int:
+    result = 1
+    for value in range(2, n + 1):
+        result *= value
+    return result

@@ -1,0 +1,129 @@
+"""The multi-armed-bandit autotuner (OpenTuner's coordination strategy).
+
+The tuner repeatedly asks one of its techniques for a candidate
+schedule, evaluates it with the supplied objective (the analytical
+runtime from :mod:`repro.perfmodel` in the pipeline; wall-clock time of
+the numpy executor in the examples), and rewards the technique when the
+candidate improves on the incumbent.  Technique selection is an
+epsilon-greedy bandit over the recent reward rates, which is the
+essence of OpenTuner's AUC-bandit meta-technique.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.autotune.space import ScheduleSpace
+from repro.autotune.techniques import DEFAULT_TECHNIQUES, Technique
+from repro.halide.schedule import Schedule
+
+Objective = Callable[[Schedule], float]
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of one tuning run."""
+
+    best_schedule: Schedule
+    best_cost: float
+    default_cost: float
+    evaluations: int
+    technique_wins: Dict[str, int] = field(default_factory=dict)
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """How much faster the tuned schedule is than the default one."""
+        if self.best_cost <= 0:
+            return 1.0
+        return self.default_cost / self.best_cost
+
+
+class MultiArmedBanditTuner:
+    """Epsilon-greedy bandit over an ensemble of search techniques."""
+
+    def __init__(
+        self,
+        space: ScheduleSpace,
+        objective: Objective,
+        techniques: Optional[Sequence[Technique]] = None,
+        epsilon: float = 0.25,
+        window: int = 20,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.objective = objective
+        self.techniques = list(techniques) if techniques else [factory() for factory in DEFAULT_TECHNIQUES]
+        self.epsilon = epsilon
+        self.window = window
+        self.rng = random.Random(seed)
+        self._recent_rewards: Dict[str, List[float]] = {t.name: [] for t in self.techniques}
+
+    # -- bandit -----------------------------------------------------------
+    def _pick_technique(self) -> Technique:
+        if self.rng.random() < self.epsilon:
+            return self.rng.choice(self.techniques)
+        best_rate = -1.0
+        best_technique = self.techniques[0]
+        for technique in self.techniques:
+            rewards = self._recent_rewards[technique.name][-self.window:]
+            rate = sum(rewards) / len(rewards) if rewards else 0.5
+            if rate > best_rate:
+                best_rate = rate
+                best_technique = technique
+        return best_technique
+
+    def _reward(self, technique: Technique, value: float) -> None:
+        self._recent_rewards[technique.name].append(value)
+
+    # -- main loop -----------------------------------------------------------
+    def tune(self, budget: int = 200) -> AutotuneResult:
+        """Search for ``budget`` evaluations and return the best schedule."""
+        default = self.space.default_schedule()
+        default_cost = self.objective(default)
+        start = self.space.sensible_schedule()
+        best_schedule = start
+        best_cost = self.objective(start)
+        if default_cost < best_cost:
+            best_schedule, best_cost = default, default_cost
+        wins: Dict[str, int] = {t.name: 0 for t in self.techniques}
+        history: List[float] = [best_cost]
+        evaluations = 2
+        while evaluations < budget:
+            technique = self._pick_technique()
+            candidate = technique.propose(self.space, best_schedule, self.rng)
+            try:
+                candidate.validate(self.space.dimensions)
+            except Exception:
+                self._reward(technique, 0.0)
+                continue
+            cost = self.objective(candidate)
+            evaluations += 1
+            improved = cost < best_cost
+            self._reward(technique, 1.0 if improved else 0.0)
+            if improved:
+                best_schedule, best_cost = candidate, cost
+                wins[technique.name] += 1
+            history.append(best_cost)
+        return AutotuneResult(
+            best_schedule=best_schedule,
+            best_cost=best_cost,
+            default_cost=default_cost,
+            evaluations=evaluations,
+            technique_wins=wins,
+            history=history,
+        )
+
+
+def autotune(
+    dimensions: int,
+    objective: Objective,
+    budget: int = 200,
+    seed: int = 0,
+) -> AutotuneResult:
+    """Convenience wrapper used by the pipeline and the benchmarks."""
+    space = ScheduleSpace(dimensions=dimensions)
+    tuner = MultiArmedBanditTuner(space, objective, seed=seed)
+    return tuner.tune(budget=budget)

@@ -1,0 +1,29 @@
+"""Code generation from lifted summaries (§5.3, §6.5).
+
+Once a postcondition has been synthesized and verified, it is turned
+into executable artifacts:
+
+* :mod:`repro.backend.accessors` — recover multidimensional grid
+  accesses from flattened one-dimensional index expressions via
+  symbolic interpretation;
+* :mod:`repro.backend.halidegen` — build a Halide ``Func`` (and emit
+  the C++ generator program) from a postcondition;
+* :mod:`repro.backend.cgen` — the simple serial C generator used by the
+  deoptimization experiment (§6.5);
+* :mod:`repro.backend.gluegen` — the Fortran glue code that calls the
+  generated kernel in place of the original loop nest.
+"""
+
+from repro.backend.accessors import AccessorRecoveryError, recover_multidim_access
+from repro.backend.halidegen import HalideGenerationError, postcondition_to_func
+from repro.backend.cgen import emit_serial_c
+from repro.backend.gluegen import emit_fortran_glue
+
+__all__ = [
+    "AccessorRecoveryError",
+    "HalideGenerationError",
+    "emit_fortran_glue",
+    "emit_serial_c",
+    "postcondition_to_func",
+    "recover_multidim_access",
+]

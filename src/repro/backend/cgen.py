@@ -1,0 +1,144 @@
+"""Serial C code generation from summaries — the deoptimization path (§6.5).
+
+Hand-optimised stencils (tiling, unrolling, non-affine bounds) defeat
+auto-parallelising compilers.  Because a lifted summary contains none of
+those artifacts, regenerating plain C from the summary gives the
+compiler a clean, perfectly-nested affine loop nest it can actually
+optimise.  ``emit_serial_c`` produces that code, and
+:class:`CleanLoopNest` summarises the properties the compiler model in
+:mod:`repro.perfmodel.compiler` keys on (affine bounds, perfect
+nesting, no conditionals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.predicates.language import Postcondition, QuantifiedConstraint
+from repro.symbolic import expr as sx
+from repro.symbolic.simplify import simplify
+
+
+@dataclass(frozen=True)
+class CleanLoopNest:
+    """Static description of the regenerated loop nest (input to the compiler model)."""
+
+    array: str
+    depth: int
+    affine_bounds: bool
+    perfectly_nested: bool
+    has_conditionals: bool
+    reads_per_point: int
+    ops_per_point: int
+
+
+def _expr_to_c(expr: sx.Expr, index_names: Dict[str, str]) -> str:
+    if isinstance(expr, sx.Const):
+        value = expr.value
+        if hasattr(value, "denominator") and getattr(value, "denominator") == 1:
+            return str(int(value))
+        return repr(float(value))
+    if isinstance(expr, sx.Sym):
+        return index_names.get(expr.name, expr.name)
+    if isinstance(expr, sx.ArrayCell):
+        indices = "][".join(_expr_to_c(i, index_names) for i in expr.indices)
+        return f"{expr.array}[{indices}]"
+    if isinstance(expr, sx.Add):
+        return f"({_expr_to_c(expr.left, index_names)} + {_expr_to_c(expr.right, index_names)})"
+    if isinstance(expr, sx.Sub):
+        return f"({_expr_to_c(expr.left, index_names)} - {_expr_to_c(expr.right, index_names)})"
+    if isinstance(expr, sx.Mul):
+        return f"({_expr_to_c(expr.left, index_names)} * {_expr_to_c(expr.right, index_names)})"
+    if isinstance(expr, sx.Div):
+        return f"({_expr_to_c(expr.left, index_names)} / {_expr_to_c(expr.right, index_names)})"
+    if isinstance(expr, sx.Neg):
+        return f"(-{_expr_to_c(expr.operand, index_names)})"
+    if isinstance(expr, sx.Call):
+        args = ", ".join(_expr_to_c(a, index_names) for a in expr.args)
+        func = {"min": "fmin", "max": "fmax"}.get(expr.func, expr.func)
+        return f"{func}({args})"
+    raise TypeError(f"cannot emit C for {expr!r}")
+
+
+def _loop_nest_for_conjunct(conjunct: QuantifiedConstraint, lines: List[str]) -> CleanLoopNest:
+    index_names = {var: var for var in conjunct.quantified_vars()}
+    indent = "    "
+    depth = 0
+    for bound in conjunct.bounds:
+        lower = _expr_to_c(simplify(bound.lower), index_names)
+        upper = _expr_to_c(simplify(bound.upper), index_names)
+        lower_expr = f"{lower} + 1" if bound.lower_strict else lower
+        comparison = "<" if bound.upper_strict else "<="
+        lines.append(
+            f"{indent * (depth + 1)}for (long {bound.var} = {lower_expr}; "
+            f"{bound.var} {comparison} {upper}; {bound.var}++)"
+        )
+        depth += 1
+    out = conjunct.out_eq
+    out_index = "][".join(_expr_to_c(simplify(i), index_names) for i in out.indices)
+    rhs = _expr_to_c(simplify(out.rhs), index_names)
+    lines.append(f"{indent * (depth + 1)}{out.array}[{out_index}] = {rhs};")
+
+    reads = sum(1 for node in out.rhs.walk() if isinstance(node, sx.ArrayCell))
+    ops = sum(
+        1 for node in out.rhs.walk() if isinstance(node, (sx.Add, sx.Sub, sx.Mul, sx.Div))
+    )
+    affine = all(
+        _is_affine_bound(bound.lower) and _is_affine_bound(bound.upper) for bound in conjunct.bounds
+    )
+    return CleanLoopNest(
+        array=out.array,
+        depth=depth,
+        affine_bounds=affine,
+        perfectly_nested=True,
+        has_conditionals=conjunct.guard is not None,
+        reads_per_point=reads,
+        ops_per_point=max(ops, 1),
+    )
+
+
+def _is_affine_bound(expr: sx.Expr) -> bool:
+    for node in expr.walk():
+        if isinstance(node, (sx.Mul, sx.Div, sx.Call)):
+            return False
+    return True
+
+
+def emit_serial_c(post: Postcondition, function_name: str = "stencil") -> Tuple[str, List[CleanLoopNest]]:
+    """Generate a serial C function for a lifted summary.
+
+    Returns the C source and the list of :class:`CleanLoopNest`
+    descriptors (one per output array) used by the compiler model.
+    """
+    lines: List[str] = []
+    nests: List[CleanLoopNest] = []
+    free_symbols = sorted(
+        {
+            name
+            for conjunct in post.conjuncts
+            for bound in conjunct.bounds
+            for name in (bound.lower.symbols() | bound.upper.symbols())
+        }
+    )
+    scalar_args = ", ".join(f"long {name}" for name in free_symbols)
+    array_args = ", ".join(f"double *{name}" for name in sorted(_arrays_of(post)))
+    signature_args = ", ".join(arg for arg in (scalar_args, array_args) if arg)
+    lines.append("#include <math.h>")
+    lines.append("")
+    lines.append(f"void {function_name}({signature_args})")
+    lines.append("{")
+    for conjunct in post.conjuncts:
+        nests.append(_loop_nest_for_conjunct(conjunct, lines))
+    lines.append("}")
+    return "\n".join(lines) + "\n", nests
+
+
+def _arrays_of(post: Postcondition) -> List[str]:
+    names = set()
+    for conjunct in post.conjuncts:
+        names.add(conjunct.out_eq.array)
+        for node in conjunct.out_eq.rhs.walk():
+            if isinstance(node, sx.ArrayCell):
+                names.add(node.array)
+    return sorted(names)

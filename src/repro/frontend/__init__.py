@@ -1,0 +1,27 @@
+"""Fortran-subset frontend.
+
+This package stands in for the paper's ROSE-based preprocessing stage
+(§5.1).  It parses the Fortran subset the benchmark kernels are written
+in (procedures/subroutines, declarations with ``dimension`` attributes,
+``do`` loops, assignments, ``if`` statements and ``STNG: assume``
+comment annotations), identifies candidate stencil loop nests using the
+paper's filtering criteria, and lowers each candidate into the IR of
+:mod:`repro.ir`.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import ParseError, parse_source
+from repro.frontend.candidates import CandidateReport, RejectionReason, identify_candidates
+from repro.frontend.lowering import LoweringError, lower_loop_nest
+
+__all__ = [
+    "CandidateReport",
+    "LoweringError",
+    "ParseError",
+    "RejectionReason",
+    "Token",
+    "identify_candidates",
+    "lower_loop_nest",
+    "parse_source",
+    "tokenize",
+]

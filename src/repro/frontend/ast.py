@@ -1,0 +1,221 @@
+"""Abstract syntax tree for the Fortran subset.
+
+Note the classic Fortran ambiguity: ``b(i, j)`` is an array reference
+if ``b`` is declared as an array and a function call otherwise.  The
+parser produces :class:`Ref` nodes for both; disambiguation happens
+during lowering, when declarations are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class FExpr:
+    """Base class of Fortran expressions."""
+
+
+@dataclass(frozen=True)
+class Num(FExpr):
+    """Numeric literal; ``is_real`` distinguishes ``1`` from ``1.0``/``1d0``."""
+
+    text: str
+    is_real: bool
+
+    @property
+    def value(self) -> float:
+        normalized = self.text.lower().replace("d", "e")
+        return float(normalized)
+
+    def __repr__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class Ref(FExpr):
+    """A name, possibly with subscripts: scalar, array element or call."""
+
+    name: str
+    subscripts: Tuple[FExpr, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.subscripts:
+            return self.name
+        return f"{self.name}({', '.join(map(repr, self.subscripts))})"
+
+
+@dataclass(frozen=True)
+class BinExpr(FExpr):
+    """Arithmetic binary expression; ``op`` in ``+ - * / **``."""
+
+    op: str
+    left: FExpr
+    right: FExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnaryExpr(FExpr):
+    """Unary ``+``/``-``."""
+
+    op: str
+    operand: FExpr
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.operand!r})"
+
+
+@dataclass(frozen=True)
+class CompareExpr(FExpr):
+    """Relational expression; ``op`` normalised to ``< <= > >= == /=``."""
+
+    op: str
+    left: FExpr
+    right: FExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class LogicalExpr(FExpr):
+    """Logical connective over comparisons: ``.and.``, ``.or.``, ``.not.``."""
+
+    op: str
+    operands: Tuple[FExpr, ...]
+
+    def __repr__(self) -> str:
+        if self.op == ".not.":
+            return f"(.not. {self.operands[0]!r})"
+        joined = f" {self.op} ".join(map(repr, self.operands))
+        return f"({joined})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class FStmt:
+    """Base class of Fortran statements."""
+
+
+@dataclass
+class Assignment(FStmt):
+    """``target = value`` where ``target`` is a scalar or array element."""
+
+    target: Ref
+    value: FExpr
+    line: int = 0
+
+
+@dataclass
+class DoLoop(FStmt):
+    """``do var = lower, upper [, step]`` ... ``enddo``."""
+
+    var: str
+    lower: FExpr
+    upper: FExpr
+    step: Optional[FExpr]
+    body: List[FStmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class IfBlock(FStmt):
+    """``if (cond) then ... [else ...] endif`` (or one-line logical if)."""
+
+    condition: FExpr
+    then_body: List[FStmt] = field(default_factory=list)
+    else_body: List[FStmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class CallStmt(FStmt):
+    """``call name(args)`` — always disqualifies the enclosing loop nest."""
+
+    name: str
+    args: Tuple[FExpr, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class ControlStmt(FStmt):
+    """Unstructured control flow: ``exit``, ``cycle``, ``goto``, ``return``."""
+
+    kind: str
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Declarations and program structure
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Declaration(FStmt):
+    """Type declaration statement.
+
+    ``dims`` holds per-name dimension specs; a spec is a tuple of
+    ``(lower, upper)`` expression pairs or ``None`` for scalars.
+    """
+
+    base_type: str  # "real", "integer", "logical", "double precision"
+    names: List[str]
+    dims: dict
+    kind: Optional[str] = None
+    is_pointer: bool = False
+    intent: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class Procedure:
+    """A subroutine/procedure/function definition."""
+
+    name: str
+    params: List[str]
+    declarations: List[Declaration] = field(default_factory=list)
+    body: List[FStmt] = field(default_factory=list)
+    annotations: List[str] = field(default_factory=list)
+    line: int = 0
+
+    def array_names(self) -> List[str]:
+        """Names declared with a dimension spec."""
+        names: List[str] = []
+        for decl in self.declarations:
+            for name in decl.names:
+                if decl.dims.get(name) is not None and name not in names:
+                    names.append(name)
+        return names
+
+    def declared_type(self, name: str) -> Optional[str]:
+        for decl in self.declarations:
+            if name in decl.names:
+                return decl.base_type
+        return None
+
+    def dimension_of(self, name: str):
+        for decl in self.declarations:
+            if name in decl.names and decl.dims.get(name) is not None:
+                return decl.dims[name]
+        return None
+
+
+@dataclass
+class Program:
+    """A parsed Fortran source file: an ordered list of procedures."""
+
+    procedures: List[Procedure] = field(default_factory=list)
+
+    def procedure(self, name: str) -> Procedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no procedure named {name!r}")

@@ -1,0 +1,170 @@
+"""Tokenizer for the Fortran subset accepted by the frontend.
+
+Fortran is case-insensitive; identifiers and keywords are lower-cased
+during lexing.  Comments beginning with ``!`` are dropped, except for
+``!STNG: assume(...)`` annotations (§5.2), which are emitted as special
+``ANNOTATION`` tokens so the parser can attach them to the enclosing
+procedure.  Free-form continuation lines (trailing ``&``) are joined.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source line for error reporting."""
+
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+KEYWORDS = {
+    "subroutine",
+    "procedure",
+    "function",
+    "end",
+    "do",
+    "enddo",
+    "if",
+    "then",
+    "else",
+    "elseif",
+    "endif",
+    "real",
+    "integer",
+    "logical",
+    "double",
+    "precision",
+    "dimension",
+    "kind",
+    "intent",
+    "in",
+    "out",
+    "inout",
+    "pointer",
+    "parameter",
+    "implicit",
+    "none",
+    "call",
+    "return",
+    "exit",
+    "cycle",
+    "continue",
+    "goto",
+    "while",
+    "allocatable",
+    "target",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<NUMBER>\d+\.\d*([dDeE][+-]?\d+)?|\.\d+([dDeE][+-]?\d+)?|\d+([dDeE][+-]?\d+)?)
+    | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<DCOLON>::)
+    | (?P<POW>\*\*)
+    | (?P<RELOP>==|/=|<=|>=|\.eq\.|\.ne\.|\.lt\.|\.le\.|\.gt\.|\.ge\.|<|>)
+    | (?P<LOGOP>\.and\.|\.or\.|\.not\.)
+    | (?P<OP>[-+*/=(),:%])
+    | (?P<WS>[ \t]+)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_ANNOTATION_RE = re.compile(r"!\s*STNG\s*:\s*assume\s*\((?P<expr>.*)\)\s*$", re.IGNORECASE)
+
+
+class LexError(Exception):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+def _join_continuations(source: str) -> List[tuple]:
+    """Split into logical lines, joining ``&`` continuations; keep line numbers."""
+    logical: List[tuple] = []
+    pending = ""
+    pending_line: Optional[int] = None
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if pending:
+            line = stripped
+        if line.endswith("&"):
+            pending += line[:-1] + " "
+            if pending_line is None:
+                pending_line = lineno
+            continue
+        if pending:
+            logical.append((pending_line, pending + line))
+            pending = ""
+            pending_line = None
+        else:
+            logical.append((lineno, raw))
+    if pending:
+        logical.append((pending_line, pending))
+    return logical
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Fortran source into a flat token list.
+
+    Each logical line is terminated by a ``NEWLINE`` token; the token
+    stream ends with an ``EOF`` token.
+    """
+    tokens: List[Token] = []
+    for lineno, line in _join_continuations(source):
+        # Annotations are whole-line comments we must preserve.
+        annotation = _ANNOTATION_RE.search(line)
+        if annotation is not None:
+            tokens.append(Token("ANNOTATION", annotation.group("expr").strip(), lineno))
+            tokens.append(Token("NEWLINE", "\n", lineno))
+            continue
+        # Strip trailing comments (no string literals in our subset).
+        comment_pos = line.find("!")
+        if comment_pos != -1:
+            line = line[:comment_pos]
+        if not line.strip():
+            continue
+        pos = 0
+        emitted = False
+        while pos < len(line):
+            match = _TOKEN_RE.match(line, pos)
+            if match is None:
+                raise LexError(f"line {lineno}: unexpected character {line[pos]!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            text = match.group()
+            if kind == "WS":
+                continue
+            if kind == "IDENT":
+                lowered = text.lower()
+                kind = "KEYWORD" if lowered in KEYWORDS else "IDENT"
+                text = lowered
+            elif kind in {"RELOP", "LOGOP"}:
+                text = text.lower()
+            tokens.append(Token(kind, text, lineno))
+            emitted = True
+        if emitted:
+            tokens.append(Token("NEWLINE", "\n", lineno))
+    tokens.append(Token("EOF", "", len(source.splitlines()) + 1))
+    return tokens
+
+
+def iter_logical_lines(tokens: List[Token]) -> Iterator[List[Token]]:
+    """Group a token stream into logical lines (without NEWLINE/EOF tokens)."""
+    current: List[Token] = []
+    for token in tokens:
+        if token.kind in {"NEWLINE", "EOF"}:
+            if current:
+                yield current
+                current = []
+        else:
+            current.append(token)
+    if current:
+        yield current

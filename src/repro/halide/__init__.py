@@ -1,0 +1,40 @@
+"""A Halide-like embedded stencil DSL.
+
+The real STNG emits C++ Halide programs that the Halide compiler turns
+into optimized object files.  Offline we cannot run Halide/LLVM, so this
+package provides the pieces the pipeline needs:
+
+* :mod:`repro.halide.lang` — ``Func``/``Var``/``ImageParam`` with the
+  same pure-functional semantics Halide's front end has;
+* :mod:`repro.halide.schedule` — schedule primitives (parallel, split/
+  tile, vectorize, unroll, reorder, gpu_blocks) recorded on a
+  :class:`~repro.halide.schedule.Schedule` object;
+* :mod:`repro.halide.executor` — a numpy reference executor used to
+  check generated pipelines against the original Fortran kernels;
+* :mod:`repro.halide.cppgen` — emission of the C++ Halide source text
+  the paper's Figure 1(d) shows;
+* :mod:`repro.halide.gpu` — the GPU (K80-class) execution model used by
+  the portability experiment.
+
+Performance numbers come from the analytical machine models in
+:mod:`repro.perfmodel`, parameterised by the schedule; the executor is
+for correctness, not timing.
+"""
+
+from repro.halide.lang import Expr, Func, HalideError, ImageParam, Param, Var
+from repro.halide.schedule import Schedule, ScheduleError
+from repro.halide.executor import realize
+from repro.halide.cppgen import emit_cpp
+
+__all__ = [
+    "Expr",
+    "Func",
+    "HalideError",
+    "ImageParam",
+    "Param",
+    "Schedule",
+    "ScheduleError",
+    "Var",
+    "emit_cpp",
+    "realize",
+]

@@ -1,0 +1,50 @@
+"""GPU execution model for the portability experiment (§6.4).
+
+Halide can retarget a pipeline to a GPU by changing its schedule; STNG
+exploits that by emitting a naive ``gpu_tile`` schedule.  Our GPU
+"backend" is an analytical model of an Nvidia K80-class accelerator: it
+estimates kernel time from a roofline over the device's bandwidth and
+flop rate plus a fixed launch latency, and separately accounts for the
+PCIe transfers of the input and output buffers — the quantity the paper
+reports with and without transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.halide.lang import Func
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """K80-class device parameters (one of the two GK210 dies)."""
+
+    name: str = "nvidia-k80"
+    peak_gflops: float = 1400.0          # double precision
+    memory_bandwidth_gbs: float = 240.0  # device HBM/GDDR bandwidth
+    pcie_bandwidth_gbs: float = 10.0     # host <-> device transfers
+    kernel_launch_us: float = 12.0
+    occupancy: float = 0.55              # naive schedules do not saturate the device
+
+    def kernel_time(self, func: Func, points: int) -> float:
+        """Seconds to execute the stencil over ``points`` output cells."""
+        flops = max(func.arith_ops(), 1) * points
+        bytes_moved = (func.loads_per_point() + 1) * 8 * points
+        compute_time = flops / (self.peak_gflops * 1e9 * self.occupancy)
+        memory_time = bytes_moved / (self.memory_bandwidth_gbs * 1e9)
+        return max(compute_time, memory_time) + self.kernel_launch_us * 1e-6
+
+    def transfer_time(self, func: Func, points: int, output_points: int = None) -> float:
+        """Seconds spent moving inputs to the device and results back."""
+        output_points = points if output_points is None else output_points
+        input_bytes = max(len(func.inputs()), 1) * points * 8
+        output_bytes = output_points * 8
+        return (input_bytes + output_bytes) / (self.pcie_bandwidth_gbs * 1e9)
+
+    def total_time(self, func: Func, points: int, include_transfer: bool) -> float:
+        time = self.kernel_time(func, points)
+        if include_transfer:
+            time += self.transfer_time(func, points)
+        return time

@@ -1,0 +1,123 @@
+"""Schedules: how a Func's domain is traversed and mapped to hardware.
+
+Halide separates the algorithm from the schedule; STNG's generated C++
+emits a default schedule which the OpenTuner-based autotuner then
+improves.  Our :class:`Schedule` records the same decisions —
+parallelisation, tiling/split factors, vectorisation, unrolling,
+dimension order, and GPU offload — and is consumed by two components:
+
+* the performance models in :mod:`repro.perfmodel`, which estimate the
+  runtime of a (Func, Schedule, grid, machine) combination; and
+* the autotuner in :mod:`repro.autotune`, which searches the space of
+  schedules for the fastest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+
+class ScheduleError(Exception):
+    """Raised for inconsistent schedule directives."""
+
+
+_ALLOWED_VECTOR_WIDTHS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An execution schedule for one Func.
+
+    Attributes
+    ----------
+    parallel_dim:
+        Index (into the Func's variable list) of the dimension executed
+        across cores, or ``None`` for serial execution.
+    tile_sizes:
+        Per-dimension tile extents; ``0`` means "do not tile this
+        dimension".
+    vector_width:
+        SIMD width applied to the innermost dimension (1 = scalar).
+    unroll:
+        Unroll factor of the innermost dimension.
+    dim_order:
+        Traversal order (innermost first); ``None`` keeps the natural
+        order.
+    gpu:
+        When true the pipeline is offloaded to the GPU backend; block
+        sizes come from ``gpu_block``.
+    """
+
+    parallel_dim: Optional[int] = None
+    tile_sizes: Tuple[int, ...] = ()
+    vector_width: int = 1
+    unroll: int = 1
+    dim_order: Optional[Tuple[int, ...]] = None
+    gpu: bool = False
+    gpu_block: Tuple[int, int] = (16, 16)
+
+    # -- fluent construction -------------------------------------------------
+    def with_parallel(self, dim: int) -> "Schedule":
+        return replace(self, parallel_dim=dim)
+
+    def with_tiles(self, sizes: Tuple[int, ...]) -> "Schedule":
+        if any(size < 0 for size in sizes):
+            raise ScheduleError("tile sizes must be non-negative")
+        return replace(self, tile_sizes=tuple(sizes))
+
+    def with_vectorize(self, width: int) -> "Schedule":
+        if width not in _ALLOWED_VECTOR_WIDTHS:
+            raise ScheduleError(f"vector width must be one of {_ALLOWED_VECTOR_WIDTHS}")
+        return replace(self, vector_width=width)
+
+    def with_unroll(self, factor: int) -> "Schedule":
+        if factor < 1 or factor > 16:
+            raise ScheduleError("unroll factor must be between 1 and 16")
+        return replace(self, unroll=factor)
+
+    def with_order(self, order: Tuple[int, ...]) -> "Schedule":
+        return replace(self, dim_order=order)
+
+    def with_gpu(self, block: Tuple[int, int] = (16, 16)) -> "Schedule":
+        return replace(self, gpu=True, gpu_block=block)
+
+    # -- validation / description ----------------------------------------------
+    def validate(self, dimensions: int) -> None:
+        """Raise :class:`ScheduleError` when the schedule does not fit the Func."""
+        if self.parallel_dim is not None and not (0 <= self.parallel_dim < dimensions):
+            raise ScheduleError(f"parallel dimension {self.parallel_dim} out of range")
+        if self.tile_sizes and len(self.tile_sizes) != dimensions:
+            raise ScheduleError("tile_sizes must name every dimension (0 = untiled)")
+        if self.dim_order is not None:
+            if sorted(self.dim_order) != list(range(dimensions)):
+                raise ScheduleError("dim_order must be a permutation of the dimensions")
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.gpu:
+            parts.append(f"gpu(block={self.gpu_block[0]}x{self.gpu_block[1]})")
+        if self.parallel_dim is not None:
+            parts.append(f"parallel(dim{self.parallel_dim})")
+        if self.tile_sizes and any(self.tile_sizes):
+            parts.append("tile(" + "x".join(str(t) for t in self.tile_sizes) + ")")
+        if self.vector_width > 1:
+            parts.append(f"vectorize({self.vector_width})")
+        if self.unroll > 1:
+            parts.append(f"unroll({self.unroll})")
+        if self.dim_order is not None:
+            parts.append("reorder(" + ",".join(map(str, self.dim_order)) + ")")
+        return " ".join(parts) if parts else "default(serial)"
+
+    # -- canonical schedules -----------------------------------------------------
+    @staticmethod
+    def default() -> "Schedule":
+        """The schedule STNG's generated C++ starts from (serial, untiled)."""
+        return Schedule()
+
+    @staticmethod
+    def baseline_parallel(dimensions: int) -> "Schedule":
+        """Parallelise the outermost dimension, vectorize the innermost."""
+        if dimensions < 1:
+            return Schedule()
+        return Schedule(parallel_dim=dimensions - 1, vector_width=4)

@@ -1,0 +1,74 @@
+"""Intermediate representation for candidate stencil kernels.
+
+The frontend (:mod:`repro.frontend`) lowers each candidate Fortran loop
+nest into this small imperative language, mirroring the paper's
+preprocessing step (§5.1): all loops become ``while`` loops with
+explicit counter initialisation and increment, complex expressions are
+broken into binary operations, and multidimensional array accesses are
+optionally flattened into one-dimensional accesses with explicit stride
+arithmetic (§4.1 notes STNG operates on flattened arrays).
+
+The verification-condition generator (:mod:`repro.vcgen`), the
+concrete-symbolic interpreter (:mod:`repro.symbolic.interpreter`) and
+the synthesizer all consume this IR.
+"""
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Block,
+    Compare,
+    FuncCall,
+    If,
+    IntConst,
+    Kernel,
+    Loop,
+    RealConst,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    ValueExpr,
+    VarRef,
+)
+from repro.ir.analysis import (
+    collect_loops,
+    input_arrays,
+    loop_nest_depth,
+    output_arrays,
+    scalars_used,
+    written_cells,
+)
+from repro.ir.flatten import flatten_kernel
+from repro.ir.pretty import format_kernel
+
+__all__ = [
+    "ArrayDecl",
+    "ArrayLoad",
+    "ArrayStore",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Compare",
+    "FuncCall",
+    "If",
+    "IntConst",
+    "Kernel",
+    "Loop",
+    "RealConst",
+    "ScalarDecl",
+    "Stmt",
+    "UnaryOp",
+    "ValueExpr",
+    "VarRef",
+    "collect_loops",
+    "flatten_kernel",
+    "format_kernel",
+    "input_arrays",
+    "loop_nest_depth",
+    "output_arrays",
+    "scalars_used",
+    "written_cells",
+]

@@ -1,0 +1,58 @@
+"""Human-readable printing of IR kernels, used in reports and error messages."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.nodes import (
+    ArrayStore,
+    Assign,
+    Block,
+    If,
+    Kernel,
+    Loop,
+    Stmt,
+)
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> List[str]:
+    """Render one statement as a list of indented lines."""
+    pad = "  " * indent
+    if isinstance(stmt, Block):
+        lines: List[str] = []
+        for inner in stmt.statements:
+            lines.extend(format_stmt(inner, indent))
+        return lines
+    if isinstance(stmt, Loop):
+        header = f"{pad}for {stmt.counter} = {stmt.lower!r} .. {stmt.upper!r}"
+        if stmt.step != 1:
+            header += f" step {stmt.step}"
+        return [header + ":"] + format_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {stmt.condition!r}:"]
+        lines.extend(format_stmt(stmt.then_body, indent + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}else:")
+            lines.extend(format_stmt(stmt.else_body, indent + 1))
+        return lines
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.target} = {stmt.value!r}"]
+    if isinstance(stmt, ArrayStore):
+        idx = ", ".join(map(repr, stmt.indices))
+        return [f"{pad}{stmt.array}({idx}) = {stmt.value!r}"]
+    return [f"{pad}{stmt!r}"]
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a whole kernel, including declarations and assumptions."""
+    lines = [f"kernel {kernel.name}({', '.join(kernel.params)})"]
+    for decl in kernel.arrays:
+        dims = ", ".join(f"{lo!r}:{hi!r}" for lo, hi in decl.bounds)
+        lines.append(f"  array {decl.name}[{dims}] : {decl.element_type}")
+    for decl in kernel.scalars:
+        lines.append(f"  scalar {decl.name} : {decl.scalar_type}")
+    for assumption in kernel.assumptions:
+        lines.append(f"  assume {assumption!r}")
+    lines.append("  body:")
+    lines.extend(format_stmt(kernel.body, indent=2))
+    return "\n".join(lines)

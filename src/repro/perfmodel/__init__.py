@@ -1,0 +1,41 @@
+"""Analytical performance models for the evaluation (§6.1, §6.3–§6.5).
+
+The paper's Table 1 compares, per kernel: the original Fortran built
+with gfortran (the baseline all speedups are relative to), the original
+built with ``ifort -parallel`` (auto-parallelisation), the regenerated
+clean C built with ``ifort -parallel`` (the deoptimization experiment),
+the lifted summary compiled by Halide and autotuned on a 24-core node,
+and the Halide GPU backend with and without PCIe transfer time.
+
+We cannot run those toolchains offline, so this package models them:
+a roofline-style node model (:mod:`repro.perfmodel.machine`), compiler
+behaviour models that capture *why* the paper's ratios look the way
+they do (:mod:`repro.perfmodel.compiler`) — auto-parallelisers succeed
+on clean affine nests and collapse on hand-tiled non-affine code, Halide
+with autotuning exploits cores, vectors and locality — and a per-kernel
+workload characterisation (:mod:`repro.perfmodel.workload`).
+"""
+
+from repro.perfmodel.machine import GPU_K80, MachineModel, XEON_NODE
+from repro.perfmodel.workload import KernelWorkload, workload_from_func, workload_from_kernel
+from repro.perfmodel.compiler import (
+    CompilerModel,
+    GFORTRAN,
+    HALIDE_CPU,
+    IFORT_PARALLEL,
+    estimate_runtime,
+)
+
+__all__ = [
+    "CompilerModel",
+    "GFORTRAN",
+    "GPU_K80",
+    "HALIDE_CPU",
+    "IFORT_PARALLEL",
+    "KernelWorkload",
+    "MachineModel",
+    "XEON_NODE",
+    "estimate_runtime",
+    "workload_from_func",
+    "workload_from_kernel",
+]

@@ -1,0 +1,23 @@
+"""The end-to-end STNG toolchain (Figure 3).
+
+``STNGPipeline`` wires the stages together: parse Fortran source,
+identify candidate fragments, lower them to the IR, lift each candidate
+(template generation + CEGIS + verification), generate Halide / serial C
+/ glue code from the verified summaries, autotune the Halide schedule,
+and evaluate the result under the performance models.  The per-kernel
+and per-suite reports it produces are what the benchmark harness prints
+as the reproduction of Tables 1 and 2.
+"""
+
+from repro.pipeline.stng import KernelOutcome, KernelReport, PipelineOptions, STNGPipeline
+from repro.pipeline.report import SuiteSummary, format_table1_rows, summarize_suite
+
+__all__ = [
+    "KernelOutcome",
+    "KernelReport",
+    "PipelineOptions",
+    "STNGPipeline",
+    "SuiteSummary",
+    "format_table1_rows",
+    "summarize_suite",
+]

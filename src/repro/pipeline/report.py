@@ -1,0 +1,99 @@
+"""Aggregation and formatting of pipeline reports (Tables 1 and 2)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.pipeline.stng import KernelOutcome, KernelReport
+
+
+@dataclass
+class SuiteSummary:
+    """One row of Table 2."""
+
+    suite: str
+    candidates: int
+    translated: int
+    untranslated_stencils: int
+    non_stencils: int
+
+    def as_row(self) -> List:
+        return [self.suite, self.candidates, self.translated, self.untranslated_stencils, self.non_stencils]
+
+
+def summarize_suite(suite: str, reports: Sequence[KernelReport]) -> SuiteSummary:
+    """Aggregate per-kernel outcomes into the Table 2 counts."""
+    translated = sum(1 for r in reports if r.outcome is KernelOutcome.TRANSLATED)
+    untranslated = sum(1 for r in reports if r.outcome is KernelOutcome.UNTRANSLATED_STENCIL)
+    non_stencils = sum(1 for r in reports if r.outcome is KernelOutcome.NOT_A_STENCIL)
+    return SuiteSummary(
+        suite=suite,
+        candidates=len(reports),
+        translated=translated,
+        untranslated_stencils=untranslated,
+        non_stencils=non_stencils,
+    )
+
+
+TABLE1_HEADER = [
+    "Benchmark",
+    "Kernel",
+    "Halide Speedup",
+    "icc Before",
+    "icc After",
+    "GPU Speedup",
+    "GPU (no transfer)",
+    "Synth Time (s)",
+    "Control Bits",
+    "Postcon AST Nodes",
+]
+
+
+def table1_row(report: KernelReport) -> Optional[List]:
+    """One Table 1 row, or None when the kernel produced no performance data."""
+    if not report.translated or report.performance is None or report.lift is None:
+        return None
+    perf = report.performance
+    return [
+        report.suite,
+        report.name,
+        round(perf.halide_speedup, 2),
+        round(perf.icc_before_speedup, 2),
+        round(perf.icc_after_speedup, 2),
+        round(perf.gpu_speedup, 2),
+        round(perf.gpu_speedup_no_transfer, 2),
+        round(report.lift.synthesis_time, 3),
+        report.lift.control_bits,
+        report.lift.postcondition_ast_nodes,
+    ]
+
+
+def format_table1_rows(reports: Iterable[KernelReport]) -> str:
+    """Render the Table 1 reproduction as fixed-width text."""
+    rows = [TABLE1_HEADER]
+    for report in reports:
+        row = table1_row(report)
+        if row is not None:
+            rows.append([str(value) for value in row])
+    widths = [max(len(str(row[col])) for row in rows) for col in range(len(TABLE1_HEADER))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def headline_statistics(reports: Sequence[KernelReport]) -> Dict[str, float]:
+    """The §6.3 headline numbers: median / min / max Halide speedup, median ifort."""
+    speedups = [r.performance.halide_speedup for r in reports if r.performance is not None]
+    icc = [r.performance.icc_before_speedup for r in reports if r.performance is not None]
+    if not speedups:
+        return {"median": 0.0, "min": 0.0, "max": 0.0, "icc_median": 0.0, "kernels": 0}
+    return {
+        "median": statistics.median(speedups),
+        "min": min(speedups),
+        "max": max(speedups),
+        "icc_median": statistics.median(icc),
+        "kernels": len(speedups),
+    }

@@ -1,0 +1,251 @@
+"""The STNG pipeline driver."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.autotune import autotune
+from repro.backend.cgen import emit_serial_c
+from repro.backend.gluegen import emit_fortran_glue
+from repro.backend.halidegen import (
+    GeneratedStencil,
+    HalideGenerationError,
+    postcondition_to_func,
+)
+from repro.frontend.candidates import Candidate, CandidateReport, identify_candidates
+from repro.frontend.lowering import LoweringError, lower_candidate
+from repro.frontend.parser import ParseError, parse_source
+from repro.ir.nodes import Kernel
+from repro.perfmodel.compiler import (
+    GFORTRAN,
+    HALIDE_CPU,
+    HALIDE_GPU,
+    IFORT_PARALLEL,
+    IFORT_PARALLEL_CLEAN,
+)
+from repro.perfmodel.workload import KernelWorkload, workload_from_func, workload_from_kernel
+from repro.synthesis.cegis import CEGISResult, SynthesisFailure, synthesize_kernel
+
+
+class KernelOutcome(str, Enum):
+    """Classification of one flagged loop nest (the Table 2 categories)."""
+
+    TRANSLATED = "translated"
+    UNTRANSLATED_STENCIL = "untranslated_stencil"
+    NOT_A_STENCIL = "not_a_stencil"
+
+
+@dataclass
+class PipelineOptions:
+    """Tunables of the pipeline (defaults keep the full suite under a few minutes)."""
+
+    seed: int = 0
+    trials: int = 2
+    autotune_budget: int = 120
+    max_candidates: int = 2000
+    verifier_environments: int = 2
+    synthesis_timeout: Optional[float] = None
+
+
+@dataclass
+class PerformanceRow:
+    """The Table 1 columns for one translated kernel."""
+
+    halide_speedup: float
+    icc_before_speedup: float
+    icc_after_speedup: float
+    gpu_speedup: float
+    gpu_speedup_no_transfer: float
+    tuned_schedule: str
+    baseline_seconds: float
+
+
+@dataclass
+class KernelReport:
+    """Everything the pipeline learned about one flagged loop nest."""
+
+    name: str
+    suite: str
+    outcome: KernelOutcome
+    is_stencil: bool
+    kernel: Optional[Kernel] = None
+    lift: Optional[CEGISResult] = None
+    stencils: List[GeneratedStencil] = field(default_factory=list)
+    halide_cpp: List[str] = field(default_factory=list)
+    serial_c: Optional[str] = None
+    glue_code: Optional[str] = None
+    performance: Optional[PerformanceRow] = None
+    failure_reason: Optional[str] = None
+    annotations_used: bool = False
+    lift_seconds: float = 0.0
+
+    @property
+    def translated(self) -> bool:
+        return self.outcome is KernelOutcome.TRANSLATED
+
+
+class STNGPipeline:
+    """Figure 3's toolchain: frontend, summary search, verification, codegen."""
+
+    def __init__(self, options: Optional[PipelineOptions] = None):
+        self.options = options or PipelineOptions()
+
+    # ------------------------------------------------------------------
+    # Front end
+    # ------------------------------------------------------------------
+    def identify(self, source: str) -> CandidateReport:
+        """Parse source and flag candidate loop nests (§5.1)."""
+        return identify_candidates(parse_source(source))
+
+    # ------------------------------------------------------------------
+    # Lifting one kernel
+    # ------------------------------------------------------------------
+    def lift_kernel(self, kernel: Kernel, suite: str = "", is_stencil: bool = True,
+                    points: Optional[int] = None, reduction_like: bool = False) -> KernelReport:
+        """Lift one IR kernel end to end and evaluate the result."""
+        report = KernelReport(
+            name=kernel.name,
+            suite=suite,
+            outcome=KernelOutcome.UNTRANSLATED_STENCIL if is_stencil else KernelOutcome.NOT_A_STENCIL,
+            is_stencil=is_stencil,
+            kernel=kernel,
+            annotations_used=bool(kernel.assumptions),
+        )
+        start = time.perf_counter()
+        try:
+            result = synthesize_kernel(
+                kernel,
+                trials=self.options.trials,
+                seed=self.options.seed,
+                max_candidates=self.options.max_candidates,
+                verifier_environments=self.options.verifier_environments,
+            )
+        except SynthesisFailure as exc:
+            report.failure_reason = str(exc)
+            report.lift_seconds = time.perf_counter() - start
+            return report
+        report.lift_seconds = time.perf_counter() - start
+        report.lift = result
+        report.outcome = KernelOutcome.TRANSLATED
+
+        # Backend code generation.
+        try:
+            report.stencils = postcondition_to_func(result.post)
+            report.halide_cpp = [stencil.cpp_source for stencil in report.stencils]
+            report.glue_code = emit_fortran_glue(kernel, report.stencils)
+        except HalideGenerationError as exc:
+            # High-dimensional kernels (TERRA) are lifted but need the
+            # per-dimensionality splitting workaround; record and continue.
+            report.failure_reason = f"halide generation: {exc}"
+        report.serial_c, _nests = emit_serial_c(result.post, function_name=f"{kernel.name}_clean")
+
+        if report.stencils:
+            report.performance = self._evaluate_performance(
+                kernel, report.stencils, points=points, reduction_like=reduction_like
+            )
+        return report
+
+    def lift_source(
+        self,
+        source: str,
+        suite: str = "",
+        stencil_flags: Optional[Dict[str, bool]] = None,
+        points: Optional[int] = None,
+    ) -> List[KernelReport]:
+        """Run the whole pipeline on one Fortran source file."""
+        reports: List[KernelReport] = []
+        candidate_report = self.identify(source)
+        flags = stencil_flags or {}
+        for rejection in candidate_report.rejections:
+            name = f"{rejection.procedure.name}_rejected"
+            is_stencil = flags.get(rejection.procedure.name, True)
+            reports.append(
+                KernelReport(
+                    name=name,
+                    suite=suite,
+                    outcome=(
+                        KernelOutcome.UNTRANSLATED_STENCIL
+                        if is_stencil
+                        else KernelOutcome.NOT_A_STENCIL
+                    ),
+                    is_stencil=is_stencil,
+                    failure_reason="; ".join(rejection.reasons),
+                )
+            )
+        for candidate in candidate_report.candidates:
+            is_stencil = flags.get(candidate.procedure.name, True)
+            try:
+                kernel = lower_candidate(candidate)
+            except LoweringError as exc:
+                reports.append(
+                    KernelReport(
+                        name=candidate.name,
+                        suite=suite,
+                        outcome=(
+                            KernelOutcome.UNTRANSLATED_STENCIL
+                            if is_stencil
+                            else KernelOutcome.NOT_A_STENCIL
+                        ),
+                        is_stencil=is_stencil,
+                        failure_reason=f"lowering: {exc}",
+                    )
+                )
+                continue
+            reports.append(self.lift_kernel(kernel, suite=suite, is_stencil=is_stencil, points=points))
+        return reports
+
+    # ------------------------------------------------------------------
+    # Performance evaluation (Table 1 columns)
+    # ------------------------------------------------------------------
+    def _evaluate_performance(
+        self,
+        kernel: Kernel,
+        stencils: Sequence[GeneratedStencil],
+        points: Optional[int],
+        reduction_like: bool,
+    ) -> PerformanceRow:
+        original = workload_from_kernel(kernel, points=points)
+        if reduction_like:
+            original = _mark_reduction(original)
+        # The regenerated clean kernel: characterise from the first generated Func.
+        clean = workload_from_func(
+            stencils[0].func,
+            name=kernel.name,
+            points=original.points,
+            dimensionality=original.dimensionality,
+        )
+        if reduction_like:
+            clean = _mark_reduction(clean)
+
+        baseline = GFORTRAN.runtime(original)
+        icc_before = IFORT_PARALLEL.runtime(original)
+        icc_after = IFORT_PARALLEL_CLEAN.runtime(clean)
+
+        tuning = autotune(
+            dimensions=max(clean.dimensionality, 1),
+            objective=lambda schedule: HALIDE_CPU.runtime(clean, schedule),
+            budget=self.options.autotune_budget,
+            seed=self.options.seed,
+        )
+        halide_time = tuning.best_cost
+        gpu_time = HALIDE_GPU.runtime(clean, include_transfer=True)
+        gpu_time_nt = HALIDE_GPU.runtime(clean, include_transfer=False)
+
+        return PerformanceRow(
+            halide_speedup=baseline / halide_time,
+            icc_before_speedup=baseline / icc_before,
+            icc_after_speedup=baseline / icc_after,
+            gpu_speedup=baseline / gpu_time,
+            gpu_speedup_no_transfer=baseline / gpu_time_nt,
+            tuned_schedule=tuning.best_schedule.describe(),
+            baseline_seconds=baseline,
+        )
+
+
+def _mark_reduction(workload: KernelWorkload) -> KernelWorkload:
+    from dataclasses import replace
+
+    return replace(workload, is_reduction_like=True)

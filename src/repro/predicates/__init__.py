@@ -1,0 +1,48 @@
+"""Predicate language for lifted summaries (Figure 4 of the paper).
+
+Postconditions are conjunctions of universally quantified ``outEq``
+constraints; loop invariants additionally carry scalar inequalities on
+the loop counters and quantify over prefixes of the iteration space.
+The right-hand sides of ``outEq`` constraints are symbolic expressions
+from :mod:`repro.symbolic`, restricted by the grammar to weighted sums
+of input-array reads, scalar inputs and pure function applications.
+"""
+
+from repro.predicates.language import (
+    Bound,
+    Invariant,
+    OutEq,
+    Postcondition,
+    QuantifiedConstraint,
+    ScalarEquality,
+    ScalarInequality,
+)
+from repro.predicates.evaluate import (
+    PredicateEvalError,
+    evaluate_invariant,
+    evaluate_postcondition,
+    evaluate_quantified,
+)
+from repro.predicates.restrictions import (
+    RestrictionViolation,
+    check_postcondition_restrictions,
+)
+from repro.predicates.pretty import format_invariant, format_postcondition
+
+__all__ = [
+    "Bound",
+    "Invariant",
+    "OutEq",
+    "Postcondition",
+    "PredicateEvalError",
+    "QuantifiedConstraint",
+    "RestrictionViolation",
+    "ScalarEquality",
+    "ScalarInequality",
+    "check_postcondition_restrictions",
+    "evaluate_invariant",
+    "evaluate_postcondition",
+    "evaluate_quantified",
+    "format_invariant",
+    "format_postcondition",
+]

@@ -1,0 +1,31 @@
+"""Pretty printing of postconditions and invariants in the paper's notation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predicates.language import Invariant, Postcondition, QuantifiedConstraint
+
+
+def _format_constraint(constraint: QuantifiedConstraint) -> str:
+    bounds = ", ".join(b.describe() for b in constraint.bounds)
+    body = constraint.out_eq.describe()
+    if constraint.guard is not None:
+        body = f"{constraint.guard!r} -> {body}"
+    if bounds:
+        return f"forall {bounds} . {body}"
+    return body
+
+
+def format_postcondition(post: Postcondition) -> str:
+    """Render a postcondition as one conjunct per line."""
+    lines = [_format_constraint(c) for c in post.conjuncts]
+    return "\n".join(lines) if lines else "true"
+
+
+def format_invariant(invariant: Invariant) -> str:
+    """Render an invariant: scalar conjuncts then quantified conjuncts."""
+    parts: List[str] = [ineq.describe() for ineq in invariant.inequalities]
+    parts.extend(eq.describe() for eq in invariant.equalities)
+    parts.extend(_format_constraint(c) for c in invariant.conjuncts)
+    return "  and  ".join(parts) if parts else "true"

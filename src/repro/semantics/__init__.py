@@ -1,0 +1,27 @@
+"""Operational semantics shared by the interpreter, the synthesizer and the verifier.
+
+The central object is :class:`repro.semantics.state.State`: a program
+state mapping scalars to values and arrays to sparse cell maps.  Values
+may be Python numbers (concrete execution, counterexample search) or
+symbolic expressions from :mod:`repro.symbolic` (concrete-symbolic
+execution for template generation and the final verification over
+reals); all arithmetic helpers dispatch on the operand types so the
+same evaluator code serves both modes.
+"""
+
+from repro.semantics.state import ArrayValue, State, fresh_symbolic_array, value_equal
+from repro.semantics.evalexpr import EvalError, eval_ir_expr, eval_sym_expr
+from repro.semantics.exec import ExecutionError, execute_kernel, execute_statement
+
+__all__ = [
+    "ArrayValue",
+    "EvalError",
+    "ExecutionError",
+    "State",
+    "eval_ir_expr",
+    "eval_sym_expr",
+    "execute_kernel",
+    "execute_statement",
+    "fresh_symbolic_array",
+    "value_equal",
+]

@@ -1,0 +1,24 @@
+"""Benchmark kernel suites (§6.1).
+
+The paper evaluates STNG on StencilMark, NAS MG, CloverLeaf, TERRA,
+NFFS-FVM and a set of hand-constructed challenge problems.  Those code
+bases are large HPC applications we cannot redistribute, so this package
+provides *representative* Fortran kernels for each suite, written from
+the paper's descriptions and matching each suite's Table 2 profile
+(how many loop nests are flagged, how many are real stencils, how many
+are hand-optimised, which need annotations).  Each kernel is a
+:class:`~repro.suites.base.KernelCase` carrying its Fortran source plus
+the metadata the pipeline and benchmark harness need.
+"""
+
+from repro.suites.base import KernelCase, stencil_fortran
+from repro.suites.registry import PAPER_TABLE2, all_cases, cases_for_suite, suite_names
+
+__all__ = [
+    "KernelCase",
+    "PAPER_TABLE2",
+    "all_cases",
+    "cases_for_suite",
+    "stencil_fortran",
+    "suite_names",
+]

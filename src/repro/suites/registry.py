@@ -1,0 +1,70 @@
+"""Registry of all suites plus the paper's Table 2 reference counts."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.suites.base import KernelCase
+from repro.suites.kernels import (
+    annotated_cases,
+    challenge_cases,
+    cloverleaf_cases,
+    nasmg_cases,
+    nffs_cases,
+    stencilmark_cases,
+    terra_cases,
+)
+
+# Paper's Table 2: suite -> (candidates, translated, untranslated stencils, non-stencils)
+PAPER_TABLE2: Dict[str, tuple] = {
+    "StencilMark": (4, 3, 1, 0),
+    "NAS MG": (9, 3, 5, 1),
+    "CloverLeaf": (45, 40, 4, 1),
+    "TERRA": (1, 1, 0, 0),
+    "NFFS-FVM": (29, 25, 1, 3),
+    "Challenge": (5, 5, 0, 0),
+}
+
+_SUITE_BUILDERS = {
+    "StencilMark": stencilmark_cases,
+    "NAS MG": nasmg_cases,
+    "CloverLeaf": cloverleaf_cases,
+    "TERRA": terra_cases,
+    "NFFS-FVM": nffs_cases,
+    "Challenge": challenge_cases,
+}
+
+
+def suite_names() -> List[str]:
+    return list(_SUITE_BUILDERS)
+
+
+def cases_for_suite(suite: str) -> List[KernelCase]:
+    if suite == "Annotations":
+        return annotated_cases()
+    if suite not in _SUITE_BUILDERS:
+        raise KeyError(f"unknown suite {suite!r}")
+    return _SUITE_BUILDERS[suite]()
+
+
+def all_cases() -> List[KernelCase]:
+    cases: List[KernelCase] = []
+    for suite in suite_names():
+        cases.extend(cases_for_suite(suite))
+    return cases
+
+
+def representative_cases(per_suite: int = 3) -> List[KernelCase]:
+    """A small cross-section of the suites for quick benchmark runs.
+
+    The selection keeps at least one hand-optimised kernel and one
+    simple kernel per suite so the speedup spread stays representative.
+    """
+    selection: List[KernelCase] = []
+    for suite in suite_names():
+        cases = [c for c in cases_for_suite(suite) if c.expect_translated]
+        hand = [c for c in cases if c.hand_optimized][:1]
+        plain = [c for c in cases if not c.hand_optimized]
+        chosen = hand + plain[: max(per_suite - len(hand), 1)]
+        selection.extend(chosen[:per_suite])
+    return selection

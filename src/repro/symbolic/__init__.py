@@ -1,0 +1,74 @@
+"""Symbolic algebra substrate used throughout STNG.
+
+This package is the reproduction's substitute for SymPy.  STNG uses a
+computer-algebra system in two places:
+
+* the concrete-symbolic interpreter that executes a candidate stencil
+  kernel with concrete loop bounds but symbolic array contents
+  (:mod:`repro.symbolic.interpreter`), and
+* accessor recovery, which converts synthesized flattened-array index
+  expressions back to multidimensional grid accesses
+  (:mod:`repro.backend.accessors`).
+
+Both only require expression trees with substitution, affine/polynomial
+simplification and structural comparison, which is what this package
+provides.
+"""
+
+from repro.symbolic.expr import (
+    Add,
+    ArrayCell,
+    Call,
+    Const,
+    Div,
+    Expr,
+    Mul,
+    Neg,
+    Sub,
+    Sym,
+    add,
+    as_expr,
+    call,
+    cell,
+    const,
+    div,
+    mul,
+    neg,
+    sub,
+    sym,
+)
+from repro.symbolic.simplify import (
+    collect_affine,
+    expand,
+    is_affine_in,
+    simplify,
+    substitute,
+)
+
+__all__ = [
+    "Add",
+    "ArrayCell",
+    "Call",
+    "Const",
+    "Div",
+    "Expr",
+    "Mul",
+    "Neg",
+    "Sub",
+    "Sym",
+    "add",
+    "as_expr",
+    "call",
+    "cell",
+    "collect_affine",
+    "const",
+    "div",
+    "expand",
+    "is_affine_in",
+    "mul",
+    "neg",
+    "simplify",
+    "sub",
+    "substitute",
+    "sym",
+]

@@ -1,0 +1,348 @@
+"""Immutable symbolic expression trees.
+
+The expression language is deliberately small: constants, symbols,
+array cells (a named array indexed by a tuple of index expressions),
+the four arithmetic operators, unary negation and calls to pure
+(uninterpreted) functions.  This mirrors the value language of the
+paper's intermediate representation, where every value a stencil kernel
+can compute is a combination of input-array cells, scalars and pure
+math functions.
+
+Expressions are hashable and compare structurally, which the
+anti-unification algorithm (:mod:`repro.templates.antiunify`) and the
+verifier rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, float, Fraction]
+
+
+class Expr:
+    """Base class for all symbolic expressions.
+
+    Sub-classes are frozen dataclasses; instances are immutable and
+    hashable so they can be stored in sets and used as dictionary keys
+    (both anti-unification and counterexample caching rely on this).
+    """
+
+    # -- operator sugar ---------------------------------------------------
+    def __add__(self, other: "Expr | Number") -> "Expr":
+        return add(self, as_expr(other))
+
+    def __radd__(self, other: "Expr | Number") -> "Expr":
+        return add(as_expr(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "Expr":
+        return sub(self, as_expr(other))
+
+    def __rsub__(self, other: "Expr | Number") -> "Expr":
+        return sub(as_expr(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "Expr":
+        return mul(self, as_expr(other))
+
+    def __rmul__(self, other: "Expr | Number") -> "Expr":
+        return mul(as_expr(other), self)
+
+    def __truediv__(self, other: "Expr | Number") -> "Expr":
+        return div(self, as_expr(other))
+
+    def __rtruediv__(self, other: "Expr | Number") -> "Expr":
+        return div(as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    # -- structural helpers -----------------------------------------------
+    def children(self) -> Tuple["Expr", ...]:
+        """Return the direct sub-expressions of this node."""
+        return ()
+
+    def with_children(self, children: Sequence["Expr"]) -> "Expr":
+        """Rebuild this node with ``children`` replacing its current ones."""
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def walk(self) -> Iterable["Expr"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def symbols(self) -> frozenset:
+        """Return the set of symbol names appearing in the expression."""
+        return frozenset(n.name for n in self.walk() if isinstance(n, Sym))
+
+    def arrays(self) -> frozenset:
+        """Return the set of array names appearing in the expression."""
+        return frozenset(n.array for n in self.walk() if isinstance(n, ArrayCell))
+
+    def size(self) -> int:
+        """Number of AST nodes in the expression."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal.  Values are normalised to ``Fraction`` when exact."""
+
+    value: Number
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, Fraction) and self.value.denominator == 1:
+            return str(self.value.numerator)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A free scalar symbol (loop bound, loop counter, scalar input)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayCell(Expr):
+    """A read of one cell of a named array: ``array[index_0, ..., index_k]``."""
+
+    array: str
+    indices: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+    def with_children(self, children: Sequence[Expr]) -> "ArrayCell":
+        return ArrayCell(self.array, tuple(children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(i) for i in self.indices)
+        return f"{self.array}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a pure (side-effect free) function, e.g. ``sqrt`` or ``exp``.
+
+    The paper models Fortran intrinsics and pure math functions as
+    uninterpreted functions; the verifier treats two calls as equal iff
+    the function names match and the arguments are equal.
+    """
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, children: Sequence[Expr]) -> "Call":
+        return Call(self.func, tuple(children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class _BinOp(Expr):
+    left: Expr
+    right: Expr
+
+    OP = "?"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expr]) -> "_BinOp":
+        left, right = children
+        return type(self)(left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.OP} {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Add(_BinOp):
+    OP = "+"
+
+
+@dataclass(frozen=True, repr=False)
+class Sub(_BinOp):
+    OP = "-"
+
+
+@dataclass(frozen=True, repr=False)
+class Mul(_BinOp):
+    OP = "*"
+
+
+@dataclass(frozen=True, repr=False)
+class Div(_BinOp):
+    OP = "/"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[Expr]) -> "Neg":
+        (operand,) = children
+        return Neg(operand)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# Constructor helpers
+# ---------------------------------------------------------------------------
+
+def as_expr(value: "Expr | Number | str") -> Expr:
+    """Coerce a Python value into an :class:`Expr`.
+
+    Integers and fractions become exact :class:`Const` nodes, floats are
+    kept as floats, and strings become symbols.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not symbolic values")
+    if isinstance(value, int):
+        return Const(Fraction(value))
+    if isinstance(value, Fraction):
+        return Const(value)
+    if isinstance(value, float):
+        return Const(value)
+    if isinstance(value, str):
+        return Sym(value)
+    raise TypeError(f"cannot convert {value!r} to a symbolic expression")
+
+
+def const(value: Number) -> Const:
+    """Build a constant node."""
+    coerced = as_expr(value)
+    assert isinstance(coerced, Const)
+    return coerced
+
+
+def sym(name: str) -> Sym:
+    """Build a symbol node."""
+    return Sym(name)
+
+
+def cell(array: str, *indices: "Expr | Number | str") -> ArrayCell:
+    """Build an array-cell read node."""
+    return ArrayCell(array, tuple(as_expr(i) for i in indices))
+
+
+def call(func: str, *args: "Expr | Number | str") -> Call:
+    """Build a pure-function call node."""
+    return Call(func, tuple(as_expr(a) for a in args))
+
+
+def add(left: Expr, right: Expr) -> Expr:
+    """Build ``left + right`` with trivial constant folding."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_num_add(left.value, right.value))
+    if isinstance(left, Const) and left.value == 0:
+        return right
+    if isinstance(right, Const) and right.value == 0:
+        return left
+    return Add(left, right)
+
+
+def sub(left: Expr, right: Expr) -> Expr:
+    """Build ``left - right`` with trivial constant folding."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_num_sub(left.value, right.value))
+    if isinstance(right, Const) and right.value == 0:
+        return left
+    if left == right:
+        return Const(Fraction(0))
+    return Sub(left, right)
+
+
+def mul(left: Expr, right: Expr) -> Expr:
+    """Build ``left * right`` with trivial constant folding."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_num_mul(left.value, right.value))
+    for a, b in ((left, right), (right, left)):
+        if isinstance(a, Const):
+            if a.value == 0:
+                return Const(Fraction(0))
+            if a.value == 1:
+                return b
+    return Mul(left, right)
+
+
+def div(left: Expr, right: Expr) -> Expr:
+    """Build ``left / right``; division by literal zero raises."""
+    if isinstance(right, Const):
+        if right.value == 0:
+            raise ZeroDivisionError("symbolic division by constant zero")
+        if right.value == 1:
+            return left
+        if isinstance(left, Const):
+            return Const(_num_div(left.value, right.value))
+    return Div(left, right)
+
+
+def neg(operand: Expr) -> Expr:
+    """Build ``-operand`` with constant folding and double-negation removal."""
+    if isinstance(operand, Const):
+        return Const(_num_mul(operand.value, Fraction(-1)))
+    if isinstance(operand, Neg):
+        return operand.operand
+    return Neg(operand)
+
+
+# ---------------------------------------------------------------------------
+# Exact-when-possible numeric helpers
+# ---------------------------------------------------------------------------
+
+def _num_add(a: Number, b: Number) -> Number:
+    return a + b
+
+
+def _num_sub(a: Number, b: Number) -> Number:
+    return a - b
+
+
+def _num_mul(a: Number, b: Number) -> Number:
+    return a * b
+
+
+def _num_div(a: Number, b: Number) -> Number:
+    if isinstance(a, Fraction) and isinstance(b, Fraction):
+        return a / b
+    return a / b
+
+
+def substitute_map(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Replace every occurrence of a key expression with its mapped value.
+
+    The substitution is simultaneous and structural: once a node matches
+    a key, its subtree is not descended into further.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [substitute_map(c, mapping) for c in children]
+    if all(n is o for n, o in zip(new_children, children)):
+        return expr
+    return expr.with_children(new_children)

@@ -1,0 +1,197 @@
+"""The CEGIS driver (§3, §4.5).
+
+For each kernel the driver builds several synthesis problems (one per
+applicable strategy), and solves them in order (the paper runs them in
+parallel on a cluster; we run them sequentially and keep per-strategy
+timings).  Solving one problem is classic CEGIS:
+
+1. enumerate candidates from the template-derived space;
+2. reject candidates that violate any VC clause on the current set of
+   concrete example states (cheap inductive check);
+3. for a surviving candidate, search for a counterexample with the
+   random concrete checker; if one is found it joins the example set
+   and enumeration continues;
+4. otherwise run the bounded symbolic verifier; a verified candidate is
+   returned, a failed one contributes its counterexample state.
+
+The returned :class:`CEGISResult` records the statistics Table 1
+reports: synthesis time, control bits, and postcondition AST size.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir import nodes as ir
+from repro.predicates.language import Postcondition
+from repro.predicates.restrictions import check_postcondition_restrictions
+from repro.semantics.state import State
+from repro.symbolic.interpreter import (
+    SymbolicExecutionError,
+    run_inductive_executions,
+)
+from repro.templates.generator import TemplateGenerationError, TemplateSet, generate_templates
+from repro.vcgen.hoare import CandidateSummary, VCProblem, generate_vc
+from repro.verification.bounded import BoundedVerifier, VerificationResult
+from repro.synthesis.space import SynthesisProblem, build_problem
+from repro.synthesis.strategies import STRATEGIES, Strategy
+
+
+class SynthesisFailure(Exception):
+    """Raised when no strategy produces a verified summary for a kernel."""
+
+
+@dataclass
+class CEGISStats:
+    """Counters describing one CEGIS run."""
+
+    candidates_tried: int = 0
+    examples_used: int = 0
+    counterexamples_found: int = 0
+    verifier_calls: int = 0
+    states_checked: int = 0
+
+
+@dataclass
+class CEGISResult:
+    """A verified summary together with the metrics Table 1 reports."""
+
+    kernel: ir.Kernel
+    candidate: CandidateSummary
+    strategy: str
+    synthesis_time: float
+    control_bits: int
+    narrowed_bits: int
+    postcondition_ast_nodes: int
+    invariant_ast_nodes: int
+    stats: CEGISStats
+    verification: VerificationResult
+
+    @property
+    def post(self) -> Postcondition:
+        return self.candidate.post
+
+
+@dataclass
+class _StrategyOutcome:
+    problem: SynthesisProblem
+    result: Optional[CEGISResult]
+    error: Optional[str]
+
+
+def _solve_problem(
+    problem: SynthesisProblem,
+    verifier: BoundedVerifier,
+    max_candidates: int,
+    quick_samples: int,
+    seed: int,
+) -> Optional[CEGISResult]:
+    """Run CEGIS on one synthesis problem; None when the space is exhausted."""
+    start = time.perf_counter()
+    stats = CEGISStats()
+    examples: List[State] = []
+    rng = random.Random(seed)
+
+    for candidate in problem.space.enumerate(limit=max_candidates):
+        stats.candidates_tried += 1
+
+        violations = check_postcondition_restrictions(candidate.post)
+        if violations:
+            continue
+
+        # Inductive step: the candidate must satisfy the VC on every example.
+        failed_on_example = False
+        for example in examples:
+            if problem.vc.check(example, candidate) is not None:
+                failed_on_example = True
+                break
+        if failed_on_example:
+            continue
+
+        # Cheap counterexample search (random concrete states, GF(7) floats).
+        counterexample = verifier.quick_check(candidate, samples=quick_samples, rng=rng)
+        if counterexample is not None:
+            examples.append(counterexample)
+            stats.counterexamples_found += 1
+            stats.examples_used = len(examples)
+            continue
+
+        # Full bounded-symbolic verification.
+        stats.verifier_calls += 1
+        verification = verifier.verify(candidate)
+        stats.states_checked += verification.states_checked
+        if verification.ok:
+            elapsed = time.perf_counter() - start
+            post_nodes = candidate.post.ast_size()
+            inv_nodes = sum(inv.ast_size() for inv in candidate.invariants.values())
+            return CEGISResult(
+                kernel=problem.kernel,
+                candidate=candidate,
+                strategy=problem.strategy_name,
+                synthesis_time=elapsed,
+                control_bits=problem.control_bits,
+                narrowed_bits=problem.grammar_space_bits,
+                postcondition_ast_nodes=post_nodes,
+                invariant_ast_nodes=inv_nodes,
+                stats=stats,
+                verification=verification,
+            )
+        if verification.counterexample is not None:
+            examples.append(verification.counterexample)
+            stats.counterexamples_found += 1
+            stats.examples_used = len(examples)
+    return None
+
+
+def synthesize_kernel(
+    kernel: ir.Kernel,
+    trials: int = 2,
+    seed: int = 0,
+    strategies: Optional[Sequence[Strategy]] = None,
+    max_candidates: int = 2000,
+    quick_samples: int = 2,
+    verifier_environments: int = 2,
+) -> CEGISResult:
+    """Lift one kernel: template generation, CEGIS, verification.
+
+    Raises :class:`SynthesisFailure` when template generation cannot
+    express the kernel or no candidate verifies under any strategy.
+    """
+    strategies = list(strategies) if strategies is not None else list(STRATEGIES)
+    try:
+        runs = run_inductive_executions(kernel, trials=trials, seed=seed)
+    except (SymbolicExecutionError, TypeError) as exc:
+        # TypeError covers kernels whose store indices depend on array data
+        # (they cannot be executed concrete-symbolically, hence not lifted).
+        raise SynthesisFailure(f"symbolic execution failed for {kernel.name}: {exc}") from exc
+    try:
+        base_templates = generate_templates(kernel, runs)
+    except TemplateGenerationError as exc:
+        raise SynthesisFailure(f"template generation failed for {kernel.name}: {exc}") from exc
+
+    vc = generate_vc(kernel)
+    verifier = BoundedVerifier(vc, num_environments=verifier_environments, seed=seed)
+
+    failures: List[str] = []
+    for strategy in strategies:
+        narrowed = strategy.apply(kernel, base_templates)
+        if narrowed is None:
+            continue
+        problem = build_problem(kernel, narrowed, vc=vc, strategy_name=strategy.name)
+        result = _solve_problem(
+            problem,
+            verifier,
+            max_candidates=max_candidates,
+            quick_samples=quick_samples,
+            seed=seed + hash(strategy.name) % 1000,
+        )
+        if result is not None:
+            return result
+        failures.append(strategy.name)
+    raise SynthesisFailure(
+        f"no strategy produced a verified summary for {kernel.name} "
+        f"(tried: {', '.join(failures) or 'none applicable'})"
+    )

@@ -1,0 +1,116 @@
+"""Finite-field modelling of floating-point data during synthesis (§4.4).
+
+Floating-point values make both synthesis and verification expensive:
+they need many bits and reassociation changes results.  The paper
+models floats during synthesis as an integer field modulo 7, and only
+at final verification switches to reals.  :class:`Mod7` implements that
+field; the CEGIS counterexample generators fill concrete arrays with
+``Mod7`` values, so candidate mismatches show up as exact field
+inequalities rather than floating-point noise, while the full verifier
+(:mod:`repro.verification`) works with symbolic values interpreted over
+the reals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+
+MODULUS = 7
+
+
+def field_encode(value: Union[int, float, Fraction]) -> int:
+    """Map a rational number into GF(7) (``p/q`` becomes ``p * q^-1 mod 7``).
+
+    Raises ``ZeroDivisionError`` when the denominator is divisible by 7;
+    callers treat that as "this literal cannot be modelled in the field"
+    and fall back to symbolic reasoning.
+    """
+    fraction = Fraction(value).limit_denominator(10**6)
+    numerator = fraction.numerator % MODULUS
+    denominator = fraction.denominator % MODULUS
+    if denominator == 0:
+        raise ZeroDivisionError(f"{value} has a denominator divisible by {MODULUS}")
+    return (numerator * pow(denominator, MODULUS - 2, MODULUS)) % MODULUS
+
+
+@dataclass(frozen=True)
+class Mod7:
+    """An element of GF(7) with the usual field operations."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value % MODULUS)
+
+    # -- arithmetic ---------------------------------------------------------
+    def _coerce(self, other: "Mod7 | int | float | Fraction") -> "Mod7":
+        if isinstance(other, Mod7):
+            return other
+        if isinstance(other, (int, float, Fraction)):
+            return Mod7(field_encode(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return Mod7(self.value + other.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return Mod7(self.value - other.value)
+
+    def __rsub__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return Mod7(other.value - self.value)
+
+    def __mul__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return Mod7(self.value * other.value)
+
+    __rmul__ = __mul__
+
+    def inverse(self) -> "Mod7":
+        if self.value == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(7)")
+        return Mod7(pow(self.value, MODULUS - 2, MODULUS))
+
+    def __truediv__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return self * other.inverse()
+
+    def __rtruediv__(self, other: "Mod7 | int") -> "Mod7":
+        other = self._coerce(other)
+        return other * self.inverse()
+
+    def __neg__(self) -> "Mod7":
+        return Mod7(-self.value)
+
+    def __abs__(self) -> "Mod7":
+        return self
+
+    # -- comparisons ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mod7):
+            return self.value == other.value
+        if isinstance(other, (int, float, Fraction)):
+            try:
+                return self.value == field_encode(other)
+            except ZeroDivisionError:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Mod7", self.value))
+
+    def __repr__(self) -> str:
+        return f"Mod7({self.value})"
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __int__(self) -> int:
+        return self.value

@@ -1,0 +1,36 @@
+"""Inductive template generation (§4.2).
+
+Combined concrete-symbolic execution of the kernel produces, for every
+written output cell, a symbolic formula over the input arrays.  This
+package generalises those observations by anti-unification into
+templates with holes, derives the candidate completions of each hole
+(index offsets, scalar inputs, constants), candidate quantifier bounds
+matching the modified region, and candidate scalar equalities for loop
+invariants.  The synthesizer then searches the resulting finite space
+with CEGIS.
+"""
+
+from repro.templates.antiunify import Hole, anti_unify, generalize
+from repro.templates.irsym import ir_to_sym
+from repro.templates.generator import (
+    ArrayTemplate,
+    BoundCandidates,
+    TemplateGenerationError,
+    TemplateSet,
+    generate_templates,
+)
+from repro.templates.writes import WriteSiteInfo, analyze_write_sites
+
+__all__ = [
+    "ArrayTemplate",
+    "BoundCandidates",
+    "Hole",
+    "TemplateGenerationError",
+    "TemplateSet",
+    "WriteSiteInfo",
+    "analyze_write_sites",
+    "anti_unify",
+    "generalize",
+    "generate_templates",
+    "ir_to_sym",
+]

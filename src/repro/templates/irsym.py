@@ -1,0 +1,48 @@
+"""Conversion of IR value expressions into symbolic predicate expressions.
+
+Loop bounds, write-site indices and annotation expressions all live in
+the IR; the predicate language and the invariant builder work over
+symbolic expressions.  The conversion is purely structural: variables
+become symbols, intrinsic calls become uninterpreted calls (``min`` and
+``max`` keep their names so the predicate evaluator can interpret them
+over concrete indices).
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.symbolic.expr import Expr, as_expr, call, cell, const, sym
+
+
+class ConversionError(Exception):
+    """Raised when an IR expression has no predicate-language counterpart."""
+
+
+def ir_to_sym(expr: ir.ValueExpr) -> Expr:
+    """Convert an IR value expression to a symbolic expression."""
+    if isinstance(expr, ir.IntConst):
+        return const(expr.value)
+    if isinstance(expr, ir.RealConst):
+        return as_expr(expr.value)
+    if isinstance(expr, ir.VarRef):
+        return sym(expr.name)
+    if isinstance(expr, ir.ArrayLoad):
+        return cell(expr.array, *[ir_to_sym(i) for i in expr.indices])
+    if isinstance(expr, ir.BinOp):
+        left = ir_to_sym(expr.left)
+        right = ir_to_sym(expr.right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise ConversionError(f"unknown binary operator {expr.op!r}")
+    if isinstance(expr, ir.UnaryOp):
+        operand = ir_to_sym(expr.operand)
+        return -operand if expr.op == "-" else operand
+    if isinstance(expr, ir.FuncCall):
+        return call(expr.func, *[ir_to_sym(a) for a in expr.args])
+    raise ConversionError(f"cannot convert IR expression {expr!r}")

@@ -1,0 +1,17 @@
+"""Verification-condition generation (Hoare logic, Figure 2 of the paper)."""
+
+from repro.vcgen.hoare import (
+    CandidateSummary,
+    ExitTarget,
+    VCClause,
+    VCProblem,
+    generate_vc,
+)
+
+__all__ = [
+    "CandidateSummary",
+    "ExitTarget",
+    "VCClause",
+    "VCProblem",
+    "generate_vc",
+]

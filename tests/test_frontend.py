@@ -1,0 +1,280 @@
+"""Tests for the Fortran frontend: lexer, parser, candidate filter, lowering."""
+
+import pytest
+
+from repro.frontend import identify_candidates, parse_source, tokenize
+from repro.frontend.candidates import RejectionReason
+from repro.frontend.lexer import LexError
+from repro.frontend.lowering import LoweringError, lower_candidate, lower_loop_nest
+from repro.frontend.parser import ParseError
+from repro.ir import ArrayStore, Assign, Loop, format_kernel
+from repro.ir.analysis import input_arrays, loop_counters, output_arrays
+
+RUNNING_EXAMPLE = """
+procedure sten(imin,imax,jmin,jmax,a,b)
+real (kind=8), dimension(imin:imax,jmin:jmax) :: a
+real (kind=8), dimension(imin:imax,jmin:jmax) :: b
+do j=jmin,jmax
+t = b(imin, j)
+do i=imin+1,imax
+q = b(i,j)
+a(i,j) = q + t
+t = q
+enddo
+enddo
+end procedure
+"""
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("DO i = 1, 10\nENDDO\n")
+        assert tokens[0].kind == "KEYWORD" and tokens[0].text == "do"
+
+    def test_numbers_with_kind_suffix(self):
+        tokens = tokenize("x = 1.5d0\n")
+        assert any(t.kind == "NUMBER" and t.text == "1.5d0" for t in tokens)
+
+    def test_relational_operators_normalised(self):
+        tokens = tokenize("if (a .lt. b) then\n")
+        assert any(t.kind == "RELOP" and t.text == ".lt." for t in tokens)
+
+    def test_comments_are_stripped(self):
+        tokens = tokenize("x = 1 ! a comment\n")
+        assert all("comment" not in t.text for t in tokens)
+
+    def test_annotation_preserved(self):
+        tokens = tokenize("!STNG: assume(sz0 - sz1 == 1)\n")
+        assert tokens[0].kind == "ANNOTATION"
+        assert "sz0" in tokens[0].text
+
+    def test_continuation_lines_joined(self):
+        tokens = tokenize("x = a + &\n    b\n")
+        texts = [t.text for t in tokens if t.kind == "IDENT"]
+        assert texts == ["x", "a", "b"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x = `broken`\n")
+
+
+class TestParser:
+    def test_running_example_structure(self):
+        program = parse_source(RUNNING_EXAMPLE)
+        assert len(program.procedures) == 1
+        proc = program.procedures[0]
+        assert proc.name == "sten"
+        assert proc.params == ["imin", "imax", "jmin", "jmax", "a", "b"]
+        assert proc.array_names() == ["a", "b"]
+
+    def test_dimension_bounds_parsed(self):
+        proc = parse_source(RUNNING_EXAMPLE).procedures[0]
+        dims = proc.dimension_of("a")
+        assert len(dims) == 2
+
+    def test_nested_do_loops(self):
+        proc = parse_source(RUNNING_EXAMPLE).procedures[0]
+        outer = proc.body[0]
+        assert outer.var == "j"
+        inner = [s for s in outer.body if hasattr(s, "var")]
+        assert inner[0].var == "i"
+
+    def test_if_block_parsing(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = 1, n\n"
+            "if (i > 1) then\n"
+            "a(i) = b(i)\n"
+            "else\n"
+            "a(i) = b(i) + 1.0\n"
+            "endif\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        proc = parse_source(src).procedures[0]
+        loop = proc.body[0]
+        assert loop.body[0].__class__.__name__ == "IfBlock"
+
+    def test_end_do_with_space(self):
+        src = "subroutine s(n,a)\nreal (kind=8), dimension(1:n) :: a\ndo i = 1, n\na(i) = 1.0\nend do\nend subroutine\n"
+        proc = parse_source(src).procedures[0]
+        assert len(proc.body) == 1
+
+    def test_do_with_step(self):
+        src = "subroutine s(n,a)\nreal (kind=8), dimension(1:n) :: a\ndo i = 1, n, 2\na(i) = 1.0\nenddo\nend subroutine\n"
+        loop = parse_source(src).procedures[0].body[0]
+        assert loop.step is not None
+
+    def test_annotation_attached_to_procedure(self):
+        src = (
+            "subroutine s(n,sz0,sz1,a)\n"
+            "real (kind=8), dimension(1:n) :: a\n"
+            "integer :: sz0, sz1\n"
+            "!STNG: assume(sz0 - sz1 == 1)\n"
+            "do i = 1, n\n"
+            "a(i) = 1.0\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        proc = parse_source(src).procedures[0]
+        assert proc.annotations == ["sz0 - sz1 == 1"]
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_source("this is not fortran\n")
+
+    def test_power_operator(self):
+        src = "subroutine s(n,a,b)\nreal (kind=8), dimension(1:n) :: a, b\ndo i = 1, n\na(i) = b(i)**2\nenddo\nend subroutine\n"
+        proc = parse_source(src).procedures[0]
+        assert proc.body[0].body[0].value.op == "**"
+
+
+class TestCandidateIdentification:
+    def test_running_example_is_candidate(self):
+        report = identify_candidates(parse_source(RUNNING_EXAMPLE))
+        assert len(report.candidates) == 1
+        assert not report.rejections
+
+    def test_conditional_rejected(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = 1, n\n"
+            "if (i > 1) then\n"
+            "a(i) = b(i)\n"
+            "endif\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert not report.candidates
+        assert RejectionReason.CONDITIONAL in report.rejections[0].reasons
+
+    def test_call_rejected(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = 1, n\n"
+            "call other(a, b, i)\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert RejectionReason.PROCEDURE_CALL in report.rejections[0].reasons
+
+    def test_indirect_index_rejected(self):
+        src = (
+            "subroutine s(n,a,b,idx)\n"
+            "real (kind=8), dimension(1:n) :: a, b, idx\n"
+            "do i = 1, n\n"
+            "a(i) = b(idx(i))\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert RejectionReason.INDIRECT_INDEX in report.rejections[0].reasons
+
+    def test_decrementing_loop_rejected(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = n, 1, -1\n"
+            "a(i) = b(i)\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert RejectionReason.DECREMENTING in report.rejections[0].reasons
+
+    def test_no_arrays_rejected(self):
+        src = "subroutine s(n,total)\nreal (kind=8) :: total\ndo i = 1, n\ntotal = total + 1.0\nenddo\nend subroutine\n"
+        report = identify_candidates(parse_source(src))
+        assert RejectionReason.NO_ARRAYS in report.rejections[0].reasons
+
+    def test_unstructured_flow_rejected(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = 1, n\n"
+            "a(i) = b(i)\n"
+            "exit\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert RejectionReason.UNSTRUCTURED in report.rejections[0].reasons
+
+    def test_consecutive_nests_merged(self):
+        src = (
+            "subroutine s(n,a,b,c)\n"
+            "real (kind=8), dimension(1:n) :: a, b, c\n"
+            "do i = 1, n\n"
+            "a(i) = b(i)\n"
+            "enddo\n"
+            "do i = 1, n\n"
+            "c(i) = a(i)\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert len(report.candidates) == 1
+        assert len(report.candidates[0].loops) == 2
+
+    def test_pure_intrinsics_allowed(self):
+        src = (
+            "subroutine s(n,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "do i = 1, n\n"
+            "a(i) = sqrt(b(i))\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        report = identify_candidates(parse_source(src))
+        assert len(report.candidates) == 1
+
+
+class TestLowering:
+    def test_running_example_lowering(self):
+        kernel = lower_candidate(identify_candidates(parse_source(RUNNING_EXAMPLE)).candidates[0])
+        assert output_arrays(kernel) == ["a"]
+        assert input_arrays(kernel) == ["b"]
+        assert loop_counters(kernel) == ["j", "i"]
+        assert "for j" in format_kernel(kernel)
+
+    def test_array_bounds_lowered(self):
+        kernel = lower_candidate(identify_candidates(parse_source(RUNNING_EXAMPLE)).candidates[0])
+        decl = kernel.array_decl("a")
+        assert decl.rank == 2
+
+    def test_power_lowered_to_pow_call(self):
+        src = "subroutine s(n,a,b)\nreal (kind=8), dimension(1:n) :: a, b\ndo i = 1, n\na(i) = b(i)**2\nenddo\nend subroutine\n"
+        kernel = lower_loop_nest(parse_source(src).procedures[0])
+        store = kernel.body.statements[0].body.statements[0]
+        assert isinstance(store, ArrayStore)
+        assert store.value.func == "pow"
+
+    def test_annotation_lowered_to_assumption(self):
+        src = (
+            "subroutine s(n,sz0,sz1,a,b)\n"
+            "real (kind=8), dimension(1:n) :: a, b\n"
+            "integer :: sz0, sz1\n"
+            "!STNG: assume(sz0 - sz1 == 1)\n"
+            "do i = 1, n\n"
+            "a(i) = b(i)\n"
+            "enddo\n"
+            "end subroutine\n"
+        )
+        kernel = lower_loop_nest(parse_source(src).procedures[0])
+        assert len(kernel.assumptions) == 1
+
+    def test_decrementing_step_raises(self):
+        src = "subroutine s(n,a,b)\nreal (kind=8), dimension(1:n) :: a, b\ndo i = n, 1, -1\na(i) = b(i)\nenddo\nend subroutine\n"
+        with pytest.raises(LoweringError):
+            lower_loop_nest(parse_source(src).procedures[0])
+
+    def test_implicit_integer_typing(self):
+        kernel = lower_candidate(identify_candidates(parse_source(RUNNING_EXAMPLE)).candidates[0])
+        types = {d.name: d.scalar_type for d in kernel.scalars}
+        assert types["imin"] == "integer"
+        assert types["t"] == "real"

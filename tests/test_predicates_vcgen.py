@@ -1,0 +1,260 @@
+"""Tests for the predicate language, its evaluation, restrictions and VC generation."""
+
+import pytest
+
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.predicates import (
+    Bound,
+    Invariant,
+    OutEq,
+    Postcondition,
+    QuantifiedConstraint,
+    ScalarEquality,
+    ScalarInequality,
+    check_postcondition_restrictions,
+    evaluate_invariant,
+    evaluate_postcondition,
+    evaluate_quantified,
+    format_invariant,
+    format_postcondition,
+)
+from repro.semantics.state import ArrayValue, State, fresh_symbolic_array
+from repro.symbolic import cell, const, sym
+from repro.vcgen import CandidateSummary, generate_vc
+
+RUNNING_EXAMPLE = """
+procedure sten(imin,imax,jmin,jmax,a,b)
+real (kind=8), dimension(imin:imax,jmin:jmax) :: a
+real (kind=8), dimension(imin:imax,jmin:jmax) :: b
+do j=jmin,jmax
+t = b(imin, j)
+do i=imin+1,imax
+q = b(i,j)
+a(i,j) = q + t
+t = q
+enddo
+enddo
+end procedure
+"""
+
+
+def running_kernel():
+    return lower_candidate(identify_candidates(parse_source(RUNNING_EXAMPLE)).candidates[0])
+
+
+def figure1_post() -> Postcondition:
+    vi, vj = sym("vi"), sym("vj")
+    rhs = cell("b", vi - 1, vj) + cell("b", vi, vj)
+    return Postcondition(
+        (
+            QuantifiedConstraint(
+                (Bound("vi", sym("imin") + 1, sym("imax")), Bound("vj", sym("jmin"), sym("jmax"))),
+                OutEq("a", (vi, vj), rhs),
+            ),
+        )
+    )
+
+
+def figure1_invariants():
+    vi, vj = sym("vi"), sym("vj")
+    rhs = cell("b", vi - 1, vj) + cell("b", vi, vj)
+    inv_j = Invariant(
+        "j",
+        inequalities=(ScalarInequality("j", sym("jmax") + 1),),
+        conjuncts=(
+            QuantifiedConstraint(
+                (Bound("vi", sym("imin") + 1, sym("imax")), Bound("vj", sym("jmin"), sym("j"), upper_strict=True)),
+                OutEq("a", (vi, vj), rhs),
+            ),
+        ),
+    )
+    inv_i = Invariant(
+        "i",
+        inequalities=(ScalarInequality("j", sym("jmax")), ScalarInequality("i", sym("imax") + 1)),
+        conjuncts=(
+            QuantifiedConstraint(
+                (Bound("vi", sym("imin") + 1, sym("imax")), Bound("vj", sym("jmin"), sym("j"), upper_strict=True)),
+                OutEq("a", (vi, vj), rhs),
+            ),
+            QuantifiedConstraint(
+                (Bound("vi", sym("imin") + 1, sym("i"), upper_strict=True), Bound("vj", sym("j"), sym("j"))),
+                OutEq("a", (vi, vj), rhs),
+            ),
+        ),
+        equalities=(ScalarEquality("t", cell("b", sym("i") - 1, sym("j"))),),
+    )
+    return {"j": inv_j, "i": inv_i}
+
+
+def computed_state(imax=3, jmax=2) -> State:
+    """State after fully executing the running example on symbolic inputs."""
+    state = State(scalars={"imin": 0, "imax": imax, "jmin": 0, "jmax": jmax, "j": jmax + 1, "i": imax + 1})
+    b = fresh_symbolic_array("b")
+    a = fresh_symbolic_array("a")
+    for j in range(0, jmax + 1):
+        for i in range(1, imax + 1):
+            a.store((i, j), b.load((i - 1, j)) + b.load((i, j)))
+    state.arrays.update({"a": a, "b": b})
+    state.scalars["t"] = b.load((imax, jmax))
+    state.scalars["q"] = b.load((imax, jmax))
+    return state
+
+
+class TestEvaluation:
+    def test_postcondition_holds_on_computed_state(self):
+        assert evaluate_postcondition(figure1_post(), computed_state())
+
+    def test_postcondition_fails_on_wrong_state(self):
+        state = computed_state()
+        state.arrays["a"].store((2, 1), const(0))
+        assert not evaluate_postcondition(figure1_post(), state)
+
+    def test_quantified_bounds_can_reference_earlier_vars(self):
+        state = computed_state()
+        state.scalars["j"] = 2
+        constraint = QuantifiedConstraint(
+            (Bound("vj", sym("jmin"), sym("j"), upper_strict=True), Bound("vi", sym("imin") + 1, sym("imax"))),
+            OutEq("a", (sym("vi"), sym("vj")), cell("b", sym("vi") - 1, sym("vj")) + cell("b", sym("vi"), sym("vj"))),
+        )
+        assert evaluate_quantified(constraint, state)
+
+    def test_invariant_with_equality(self):
+        state = computed_state()
+        state.scalars["j"] = 1
+        state.scalars["i"] = 2
+        state.scalars["t"] = state.arrays["b"].load((1, 1))
+        invariants = figure1_invariants()
+        assert evaluate_invariant(invariants["i"], state)
+
+    def test_invariant_fails_with_wrong_equality(self):
+        state = computed_state()
+        state.scalars["j"] = 1
+        state.scalars["i"] = 2
+        state.scalars["t"] = const(0)
+        invariants = figure1_invariants()
+        assert not evaluate_invariant(invariants["i"], state)
+
+    def test_empty_quantifier_range_is_vacuous(self):
+        state = computed_state()
+        constraint = QuantifiedConstraint(
+            (Bound("vi", const(5), const(1)),),
+            OutEq("a", (sym("vi"), const(0)), const(99)),
+        )
+        assert evaluate_quantified(constraint, state)
+
+    def test_ast_size_counts_nodes(self):
+        assert figure1_post().ast_size() > 10
+
+
+class TestPretty:
+    def test_format_postcondition_mentions_forall(self):
+        text = format_postcondition(figure1_post())
+        assert "forall" in text and "a[vi, vj]" in text
+
+    def test_format_invariant_includes_equalities(self):
+        text = format_invariant(figure1_invariants()["i"])
+        assert "t = b[(i - 1), j]" in text
+
+
+class TestRestrictions:
+    def test_valid_postcondition_passes(self):
+        kernel = running_kernel()
+        violations = check_postcondition_restrictions(figure1_post(), kernel)
+        assert violations == []
+
+    def test_trivial_rhs_rejected(self):
+        vi, vj = sym("vi"), sym("vj")
+        post = Postcondition(
+            (
+                QuantifiedConstraint(
+                    (Bound("vi", sym("imin") + 1, sym("imax")), Bound("vj", sym("jmin"), sym("jmax"))),
+                    OutEq("a", (vi, vj), cell("a", vi, vj)),
+                ),
+            )
+        )
+        assert any("output-array terms" in v for v in check_postcondition_restrictions(post))
+
+    def test_duplicate_outeq_rejected(self):
+        conjunct = figure1_post().conjuncts[0]
+        post = Postcondition((conjunct, conjunct))
+        assert any("more than one outEq" in v for v in check_postcondition_restrictions(post))
+
+    def test_missing_output_array_reported(self):
+        kernel = running_kernel()
+        post = Postcondition(())
+        violations = check_postcondition_restrictions(post, kernel)
+        assert any("does not describe" in v for v in violations)
+
+    def test_range_mismatch_detected(self):
+        kernel = running_kernel()
+        vi, vj = sym("vi"), sym("vj")
+        wrong_range = Postcondition(
+            (
+                QuantifiedConstraint(
+                    (Bound("vi", sym("imin"), sym("imax")), Bound("vj", sym("jmin"), sym("jmax"))),
+                    OutEq("a", (vi, vj), cell("b", vi, vj) + cell("b", vi - 1, vj)),
+                ),
+            )
+        )
+        sample = State(scalars={"imin": 0, "imax": 3, "jmin": 0, "jmax": 2})
+        sample.arrays["b"] = fresh_symbolic_array("b")
+        sample.arrays["a"] = fresh_symbolic_array("a")
+        violations = check_postcondition_restrictions(wrong_range, kernel, sample)
+        assert any("does not match modified region" in v for v in violations)
+
+
+class TestVCGeneration:
+    def test_clause_structure_matches_figure2(self):
+        vc = generate_vc(running_kernel())
+        names = [c.name for c in vc.clauses]
+        assert names == [
+            "j.init",
+            "j.i.init",
+            "j.i.straightline",
+            "j.i.after.straightline",
+            "j.after.straightline",
+        ]
+        assert vc.loop_ids() == ["j", "i"]
+
+    def test_correct_candidate_satisfies_all_clauses(self):
+        vc = generate_vc(running_kernel())
+        candidate = CandidateSummary(post=figure1_post(), invariants=figure1_invariants())
+        assert vc.check(computed_state(), candidate) is None
+
+    def test_wrong_postcondition_fails_exit_clause(self):
+        vc = generate_vc(running_kernel())
+        vi, vj = sym("vi"), sym("vj")
+        wrong = Postcondition(
+            (
+                QuantifiedConstraint(
+                    (Bound("vi", sym("imin") + 1, sym("imax")), Bound("vj", sym("jmin"), sym("jmax"))),
+                    OutEq("a", (vi, vj), cell("b", vi, vj) + cell("b", vi, vj)),
+                ),
+            )
+        )
+        candidate = CandidateSummary(post=wrong, invariants=figure1_invariants())
+        failed = vc.check(computed_state(), candidate)
+        assert failed is not None and "after" in failed
+
+    def test_mid_computation_state_satisfies_invariants(self):
+        vc = generate_vc(running_kernel())
+        candidate = CandidateSummary(post=figure1_post(), invariants=figure1_invariants())
+        state = computed_state()
+        # position mid-way through row j=1
+        state.scalars["j"] = 1
+        state.scalars["i"] = 2
+        state.scalars["t"] = state.arrays["b"].load((1, 1))
+        # clear cells not yet written at this point
+        for j in range(1, 3):
+            for i in range(1, 4):
+                if j > 1 or i >= 2:
+                    state.arrays["a"].cells.pop((i, j), None)
+        assert vc.check(state, candidate) is None
+
+    def test_vacuous_when_premises_fail(self):
+        vc = generate_vc(running_kernel())
+        candidate = CandidateSummary(post=figure1_post(), invariants=figure1_invariants())
+        state = computed_state()
+        state.scalars["jmin"] = 5  # degenerate bounds: precondition fails
+        assert vc.clauses[0].holds(state, candidate)

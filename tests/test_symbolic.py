@@ -1,0 +1,208 @@
+"""Tests for the symbolic algebra substrate."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    add,
+    as_expr,
+    cell,
+    collect_affine,
+    const,
+    is_affine_in,
+    mul,
+    simplify,
+    substitute,
+    sym,
+)
+from repro.symbolic.expr import ArrayCell, Call, Const, Sym, substitute_map
+
+
+class TestConstruction:
+    def test_as_expr_int_is_exact(self):
+        assert as_expr(3) == Const(Fraction(3))
+
+    def test_as_expr_string_is_symbol(self):
+        assert as_expr("i") == Sym("i")
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_operator_sugar_builds_trees(self):
+        expr = sym("i") + 1
+        assert expr.symbols() == {"i"}
+        assert expr.size() == 3
+
+    def test_cell_coerces_indices(self):
+        c = cell("b", "i", 2)
+        assert isinstance(c, ArrayCell)
+        assert c.indices[1] == Const(Fraction(2))
+
+    def test_arrays_collects_names(self):
+        expr = cell("a", "i") + cell("b", "j") * 2
+        assert expr.arrays() == {"a", "b"}
+
+    def test_constant_folding_add(self):
+        assert add(const(2), const(3)) == const(5)
+
+    def test_add_zero_identity(self):
+        assert add(sym("x"), const(0)) == sym("x")
+
+    def test_mul_zero_annihilates(self):
+        assert mul(sym("x"), const(0)) == const(0)
+
+    def test_mul_one_identity(self):
+        assert mul(const(1), sym("x")) == sym("x")
+
+    def test_sub_self_is_zero(self):
+        assert (sym("x") - sym("x")) == const(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            sym("x") / 0
+
+    def test_neg_double_negation(self):
+        assert -(-sym("x")) == sym("x")
+
+    def test_call_repr(self):
+        assert repr(as_expr(1) + 0) == "1"
+
+    def test_expr_hashable_in_sets(self):
+        exprs = {sym("i") + 1, sym("i") + 1, sym("j")}
+        assert len(exprs) == 2
+
+    def test_substitute_map_replaces_subtrees(self):
+        expr = cell("b", sym("i") - 1, sym("j"))
+        replaced = substitute_map(expr, {sym("i"): sym("v0")})
+        assert replaced == cell("b", sym("v0") - 1, sym("j"))
+
+
+class TestSimplify:
+    def test_reassociation_canonical(self):
+        a, b, c = sym("a"), sym("b"), sym("c")
+        assert simplify((a + b) + c) == simplify(a + (c + b))
+
+    def test_constant_collection(self):
+        x = sym("x")
+        assert simplify(x + 2 + 3 - 5) == simplify(x)
+
+    def test_cancellation(self):
+        x, y = sym("x"), sym("y")
+        assert simplify(x + y - x) == simplify(y)
+
+    def test_multiplication_by_constant_distributes(self):
+        x = sym("x")
+        assert simplify(2 * (x + 1)) == simplify(2 * x + 2)
+
+    def test_division_by_constant_folds(self):
+        x = sym("x")
+        assert simplify((4 * x) / 2) == simplify(2 * x)
+
+    def test_array_cell_indices_simplified(self):
+        expr = cell("b", sym("i") + 1 - 1)
+        assert simplify(expr) == cell("b", sym("i"))
+
+    def test_call_arguments_simplified(self):
+        expr = Call("min", (sym("i") + 0, const(3)))
+        simplified = simplify(expr)
+        assert isinstance(simplified, Call)
+        assert simplified.args[0] == sym("i")
+
+    def test_simplify_zero_difference_detects_equality(self):
+        lhs = cell("b", sym("i") - 1) + cell("b", sym("i"))
+        rhs = cell("b", sym("i")) + cell("b", sym("i") - 1)
+        assert simplify(lhs - rhs) == const(0)
+
+    def test_substitute_by_name(self):
+        expr = cell("b", sym("i") - 1, sym("j"))
+        result = substitute(expr, {"i": sym("v0"), "j": 3})
+        assert result == cell("b", sym("v0") - 1, 3)
+
+    def test_substitute_does_not_touch_array_names(self):
+        expr = cell("i", sym("i"))
+        result = substitute(expr, {"i": const(5)})
+        assert isinstance(result, ArrayCell)
+        assert result.array == "i"
+        assert result.indices[0] == const(5)
+
+
+class TestAffine:
+    def test_collect_affine_simple(self):
+        coeffs, rest = collect_affine(2 * sym("i") + sym("n") + 3, ("i",))
+        assert coeffs["i"] == 2
+        assert simplify(rest) == simplify(sym("n") + 3)
+
+    def test_collect_affine_rejects_products(self):
+        assert collect_affine(sym("i") * sym("j"), ("i", "j")) is None
+
+    def test_is_affine_in_true(self):
+        assert is_affine_in(sym("i") - 4, ("i",))
+
+    def test_is_affine_in_false(self):
+        assert not is_affine_in(sym("i") * sym("i"), ("i",))
+
+    def test_affine_in_unrelated_vars(self):
+        coeffs, rest = collect_affine(sym("n") * sym("m"), ("i",))
+        assert coeffs["i"] == 0
+
+
+def _eval(expr, env):
+    """Reference evaluator for property tests."""
+    if isinstance(expr, Const):
+        return Fraction(expr.value)
+    if isinstance(expr, Sym):
+        return Fraction(env[expr.name])
+    from repro.symbolic.expr import Add, Div, Mul, Neg, Sub
+
+    if isinstance(expr, Add):
+        return _eval(expr.left, env) + _eval(expr.right, env)
+    if isinstance(expr, Sub):
+        return _eval(expr.left, env) - _eval(expr.right, env)
+    if isinstance(expr, Mul):
+        return _eval(expr.left, env) * _eval(expr.right, env)
+    if isinstance(expr, Div):
+        return _eval(expr.left, env) / _eval(expr.right, env)
+    if isinstance(expr, Neg):
+        return -_eval(expr.operand, env)
+    raise AssertionError(f"unexpected node {expr!r}")
+
+
+_leaf = st.one_of(
+    st.integers(min_value=-5, max_value=5).map(const),
+    st.sampled_from(["x", "y", "z"]).map(sym),
+)
+
+
+def _exprs(max_depth=4):
+    return st.recursive(
+        _leaf,
+        lambda children: st.tuples(st.sampled_from("+-*"), children, children).map(
+            lambda t: {"+": lambda a, b: a + b, "-": lambda a, b: a - b, "*": lambda a, b: a * b}[t[0]](t[1], t[2])
+        ),
+        max_leaves=8,
+    )
+
+
+class TestSimplifyProperties:
+    @given(_exprs(), st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3))
+    @settings(max_examples=120, deadline=None)
+    def test_simplify_preserves_value(self, expr, x, y, z):
+        env = {"x": x, "y": y, "z": z}
+        assert _eval(simplify(expr), env) == _eval(expr, env)
+
+    @given(_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_simplify_idempotent(self, expr):
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    @given(_exprs(), _exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_difference_of_equal_expressions_is_zero(self, a, b):
+        combined = a + b
+        swapped = b + a
+        assert simplify(combined - swapped) == const(0)
