@@ -43,7 +43,7 @@ def lifted_reports(pipeline, selected_cases) -> Dict[str, List[KernelReport]]:
         reports = pipeline.lift_source(
             case.source,
             suite=case.suite,
-            stencil_flags={case.source.split("(")[0].split()[-1]: case.is_stencil},
+            stencil_flags={case.procedure_name: case.is_stencil},
             points=case.points,
         )
         for report in reports:

@@ -1,0 +1,37 @@
+"""Content-addressed cache of verified synthesis results.
+
+The paper ran every per-kernel synthesis strategy from scratch on a
+cluster; a production lifting service cannot afford to re-prove the
+same kernel on every request.  This package memoizes the expensive
+middle of the pipeline — template generation, CEGIS and bounded
+verification — keyed by a *content address*:
+
+* a structural hash of the kernel IR (:mod:`repro.cache.fingerprint`),
+  independent of the kernel's display name, so textually renamed but
+  structurally identical kernels share one entry;
+* the synthesis-relevant pipeline options (seed, trials, candidate
+  budget, verifier environments, strategy roster); and
+* a code-version tag bumped whenever the template generator, strategy
+  set or verifier change semantics.
+
+Verified :class:`~repro.synthesis.cegis.CEGISResult` summaries (and
+definitive failures) are persisted to a JSON store
+(:mod:`repro.cache.store`) so warm runs skip synthesis entirely.
+"""
+
+from repro.cache.fingerprint import (
+    CODE_VERSION,
+    fingerprint_kernel,
+    fingerprint_synthesis,
+    options_signature,
+)
+from repro.cache.store import CachedOutcome, SynthesisCache
+
+__all__ = [
+    "CODE_VERSION",
+    "CachedOutcome",
+    "SynthesisCache",
+    "fingerprint_kernel",
+    "fingerprint_synthesis",
+    "options_signature",
+]

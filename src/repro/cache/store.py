@@ -1,0 +1,258 @@
+"""Persistent JSON store of synthesis outcomes, keyed by fingerprint.
+
+The store is a single JSON file holding one entry per synthesis
+fingerprint (:mod:`repro.cache.fingerprint`).  An entry records either a
+verified summary (the serialized ``CEGISResult``) or a definitive
+failure (no strategy produced a verified summary) — both outcomes are
+deterministic functions of the fingerprinted inputs, so warm runs can
+replay them without re-synthesizing.
+
+Robustness rules:
+
+* a missing, unreadable, or corrupted store file is treated as empty —
+  a warm run silently degrades to a cold one;
+* the file carries the :data:`~repro.cache.fingerprint.CODE_VERSION` it
+  was written with; a version mismatch discards every entry (explicit
+  invalidation when templates/strategies change), while option changes
+  invalidate implicitly because they change the fingerprint;
+* saves are atomic (temp file + ``os.replace``) so a crashed writer
+  never corrupts an existing store;
+* entries created since construction are exposed via
+  :meth:`SynthesisCache.new_entries` so process-pool workers can ship
+  them back to the parent, which merges and saves once — workers never
+  write the file and therefore never race each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.ir import nodes as ir
+from repro.cache.fingerprint import CODE_VERSION, fingerprint_synthesis
+from repro.cache.serialize import CachePayloadError, result_from_payload, result_to_payload
+
+_STATUS_VERIFIED = "verified"
+_STATUS_FAILURE = "failure"
+
+
+@dataclass
+class CachedOutcome:
+    """One decoded cache entry: a verified summary or a recorded failure."""
+
+    fingerprint: str
+    verified: bool
+    payload: Dict[str, Any]
+
+    def result(self, kernel: ir.Kernel):
+        """Rehydrate the stored ``CEGISResult`` against the live kernel."""
+        if not self.verified:
+            raise ValueError("cache entry records a failure, not a result")
+        return result_from_payload(self.payload, kernel)
+
+    @property
+    def failure_message(self) -> str:
+        return str(self.payload.get("message", "synthesis failed (cached)"))
+
+
+class SynthesisCache:
+    """Content-addressed store of synthesis outcomes.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the cache; ``None`` keeps the cache purely
+        in-memory (useful for tests and for pool workers that ship
+        entries back to the parent instead of writing).
+    autosave:
+        Persist after every recorded entry — durable by default (a
+        crash loses nothing), but each save rewrites the whole store,
+        so a long sweep pays O(n²) in store size.  Batch users (and the
+        batch scheduler, automatically) disable this and call
+        :meth:`save` once.
+    cache_failures:
+        Also record definitive synthesis failures so warm runs skip the
+        (typically slowest) exhausted-space kernels.  Set to ``False``
+        to re-attempt failed kernels on every run.
+    """
+
+    def __init__(
+        self,
+        path: "os.PathLike[str] | str | None" = None,
+        code_version: str = CODE_VERSION,
+        autosave: bool = True,
+        cache_failures: bool = True,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.code_version = code_version
+        self.autosave = autosave
+        self.cache_failures = cache_failures
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._new: Dict[str, Dict[str, Any]] = {}
+        if self.path is not None:
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Load the backing file; any corruption degrades to an empty cache."""
+        assert self.path is not None
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise ValueError("store root is not an object")
+            if data.get("version") != self.code_version:
+                # Templates/strategies changed since this store was written.
+                self._entries = {}
+                return
+            entries = data.get("entries", {})
+            if not isinstance(entries, dict):
+                raise ValueError("store entries is not an object")
+            self._entries = {
+                str(fp): entry
+                for fp, entry in entries.items()
+                if isinstance(entry, dict) and entry.get("status") in (_STATUS_VERIFIED, _STATUS_FAILURE)
+            }
+        except (OSError, ValueError) as _exc:  # ValueError covers JSONDecodeError
+            self._entries = {}
+
+    def save(self) -> None:
+        """Atomically persist every entry to the backing file."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = {"version": self.code_version, "entries": self._entries}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp", dir=str(self.path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._new = {}
+        if self.autosave:
+            self.save()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup and recording
+    # ------------------------------------------------------------------
+    def fingerprint(self, kernel: ir.Kernel, config: Mapping[str, Any]) -> str:
+        return fingerprint_synthesis(kernel, config, code_version=self.code_version)
+
+    def get(self, fingerprint: str) -> Optional[CachedOutcome]:
+        """Decode the entry stored under ``fingerprint``, if any.
+
+        With ``cache_failures=False`` recorded failures are invisible —
+        both newly-recorded and previously-persisted ones — so failed
+        kernels are re-attempted on every run.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        status = entry.get("status")
+        if status == _STATUS_FAILURE and not self.cache_failures:
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        return CachedOutcome(
+            fingerprint=fingerprint,
+            verified=status == _STATUS_VERIFIED,
+            payload=payload,
+        )
+
+    def _put(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        self._entries[fingerprint] = entry
+        self._new[fingerprint] = entry
+        if self.autosave:
+            self.save()
+
+    def record_result(self, fingerprint: str, result, kernel_name: str = "") -> None:
+        """Store a verified ``CEGISResult`` under ``fingerprint``."""
+        try:
+            payload = result_to_payload(result)
+        except CachePayloadError:
+            # An unserializable summary is simply not cached.
+            return
+        self._put(
+            fingerprint,
+            {
+                "status": _STATUS_VERIFIED,
+                "payload": payload,
+                "kernel": kernel_name,
+                "created": time.time(),
+            },
+        )
+
+    def record_failure(self, fingerprint: str, message: str, kernel_name: str = "") -> None:
+        """Store a definitive synthesis failure under ``fingerprint``."""
+        if not self.cache_failures:
+            return
+        self._put(
+            fingerprint,
+            {
+                "status": _STATUS_FAILURE,
+                "payload": {"message": message},
+                "kernel": kernel_name,
+                "created": time.time(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-process entry shipping
+    # ------------------------------------------------------------------
+    def new_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Entries recorded by this instance (picklable, JSON-ready)."""
+        return dict(self._new)
+
+    def drain_new_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Like :meth:`new_entries`, but resets the tracker.
+
+        Long-lived pool workers call this after each job so every entry
+        is shipped to the parent exactly once (the entries themselves
+        stay in the worker's in-memory cache for intra-batch hits).
+        """
+        drained = self._new
+        self._new = {}
+        return dict(drained)
+
+    def snapshot_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Every current entry (for seeding an in-memory worker cache)."""
+        return dict(self._entries)
+
+    def preload(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        """Adopt pre-existing entries without marking them as new."""
+        self._entries.update(entries)
+
+    def merge_entries(self, entries: Mapping[str, Dict[str, Any]]) -> int:
+        """Adopt entries shipped back from a worker; returns how many were new."""
+        added = 0
+        for fingerprint, entry in entries.items():
+            if fingerprint not in self._entries:
+                added += 1
+            self._entries[fingerprint] = entry
+            self._new[fingerprint] = entry
+        if added and self.autosave:
+            self.save()
+        return added

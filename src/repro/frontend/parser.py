@@ -43,6 +43,7 @@ class _LineParser:
     def __init__(self, tokens: List[Token]):
         self.tokens = tokens
         self.pos = 0
+        self.line = tokens[0].line if tokens else 0
 
     # -- token helpers -----------------------------------------------------
     def peek(self, offset: int = 0) -> Optional[Token]:
@@ -54,7 +55,7 @@ class _LineParser:
     def next(self) -> Token:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of line")
+            raise ParseError(f"line {self.line}: unexpected end of line")
         self.pos += 1
         return token
 
@@ -155,7 +156,7 @@ class _LineParser:
     def _parse_primary(self) -> FExpr:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of expression")
+            raise ParseError(f"line {self.line}: unexpected end of expression")
         if token.kind == "NUMBER":
             self.next()
             is_real = any(ch in token.text.lower() for ch in ".de")

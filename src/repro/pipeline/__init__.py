@@ -10,14 +10,27 @@ as the reproduction of Tables 1 and 2.
 """
 
 from repro.pipeline.stng import KernelOutcome, KernelReport, PipelineOptions, STNGPipeline
-from repro.pipeline.report import SuiteSummary, format_table1_rows, summarize_suite
+from repro.pipeline.report import SuiteSummary, format_table1_rows, report_signature, summarize_suite
+from repro.pipeline.scheduler import (
+    BatchJob,
+    BatchResult,
+    BatchScheduler,
+    jobs_from_cases,
+    lift_cases_sequential,
+)
 
 __all__ = [
+    "BatchJob",
+    "BatchResult",
+    "BatchScheduler",
     "KernelOutcome",
     "KernelReport",
     "PipelineOptions",
     "STNGPipeline",
     "SuiteSummary",
     "format_table1_rows",
+    "jobs_from_cases",
+    "lift_cases_sequential",
+    "report_signature",
     "summarize_suite",
 ]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import statistics
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.pipeline.stng import KernelOutcome, KernelReport
@@ -35,6 +36,39 @@ def summarize_suite(suite: str, reports: Sequence[KernelReport]) -> SuiteSummary
         untranslated_stencils=untranslated,
         non_stencils=non_stencils,
     )
+
+
+def report_signature(report: KernelReport) -> str:
+    """Canonical JSON encoding of everything deterministic in a report.
+
+    Wall-clock fields (``lift_seconds``, the lift's ``synthesis_time``)
+    are excluded; everything else — classification, the lifted summary,
+    generated code, and the modelled performance row — is included, so
+    two reports with equal signatures are byte-identical up to timing.
+    Used to check that batch and sequential pipelines agree.
+    """
+    from repro.cache.fingerprint import fingerprint_kernel
+    from repro.cache.serialize import result_to_payload
+
+    lift_payload = None
+    if report.lift is not None:
+        lift_payload = result_to_payload(report.lift)
+        lift_payload.pop("synthesis_time", None)
+    payload = {
+        "name": report.name,
+        "suite": report.suite,
+        "outcome": report.outcome.value,
+        "is_stencil": report.is_stencil,
+        "kernel": fingerprint_kernel(report.kernel) if report.kernel is not None else None,
+        "lift": lift_payload,
+        "halide_cpp": list(report.halide_cpp),
+        "serial_c": report.serial_c,
+        "glue_code": report.glue_code,
+        "performance": asdict(report.performance) if report.performance is not None else None,
+        "failure_reason": report.failure_reason,
+        "annotations_used": report.annotations_used,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 TABLE1_HEADER = [

@@ -1,0 +1,264 @@
+"""Parallel batch lifting of whole benchmark suites.
+
+The paper ran its per-kernel synthesis strategies "in parallel on a
+cluster"; this module is the reproduction's equivalent for a single
+machine.  A :class:`BatchScheduler` fans the suite registry's kernels
+out over a :class:`concurrent.futures.ProcessPoolExecutor`, optionally
+backed by the content-addressed synthesis cache (:mod:`repro.cache`),
+and aggregates the per-kernel :class:`~repro.pipeline.stng.KernelReport`
+objects deterministically regardless of completion order.
+
+Two levels of parallelism are provided:
+
+* **batch mode** (:meth:`BatchScheduler.lift_cases` and friends) — one
+  pool task per kernel case; each worker runs the full sequential
+  pipeline for its case, so results are identical to a sequential
+  :meth:`~repro.pipeline.stng.STNGPipeline.lift_source` sweep;
+* **racing mode** (:meth:`BatchScheduler.lift_kernel`) — one pool task
+  per CEGIS *strategy* for a single kernel, with first-verified-wins
+  cancellation (see :func:`repro.synthesis.cegis.synthesize_kernel`).
+
+Cache discipline under parallelism: workers read the store but never
+write it.  Each worker accumulates its newly-computed entries in memory
+and ships them back with its reports; the parent merges them into its
+cache and saves once, so concurrent workers cannot corrupt or clobber
+the store file.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.store import SynthesisCache
+from repro.pipeline.report import SuiteSummary, summarize_suite
+from repro.pipeline.stng import KernelReport, PipelineOptions, STNGPipeline
+from repro.suites.base import KernelCase
+from repro.suites.registry import all_cases, cases_for_suite
+from repro.synthesis.strategies import STRATEGIES
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One schedulable unit: a kernel case plus its submission index."""
+
+    index: int
+    name: str
+    suite: str
+    source: str
+    procedure: str
+    is_stencil: bool
+    points: Optional[int]
+    reduction_like: bool
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of one batch run."""
+
+    reports: List[KernelReport]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def by_suite(self) -> Dict[str, List[KernelReport]]:
+        grouped: Dict[str, List[KernelReport]] = {}
+        for report in self.reports:
+            grouped.setdefault(report.suite, []).append(report)
+        return grouped
+
+    def summaries(self) -> Dict[str, SuiteSummary]:
+        """Per-suite Table 2 rows, in first-appearance order."""
+        return {
+            suite: summarize_suite(suite, reports)
+            for suite, reports in self.by_suite().items()
+        }
+
+
+def jobs_from_cases(cases: Sequence[KernelCase]) -> List[BatchJob]:
+    """Submission-ordered jobs for a list of kernel cases."""
+    return [
+        BatchJob(
+            index=index,
+            name=case.name,
+            suite=case.suite,
+            source=case.source,
+            procedure=case.procedure_name,
+            is_stencil=case.is_stencil,
+            points=case.points,
+            reduction_like=case.reduction_like,
+        )
+        for index, case in enumerate(cases)
+    ]
+
+
+def _lift_job(job: BatchJob, options: PipelineOptions, cache: Optional[SynthesisCache]) -> List[KernelReport]:
+    """Lift one job with the plain sequential pipeline (shared by both paths)."""
+    pipeline = STNGPipeline(options, cache=cache)
+    reports = pipeline.lift_source(
+        job.source,
+        suite=job.suite,
+        stencil_flags={job.procedure: job.is_stencil},
+        points=job.points,
+    )
+    for report in reports:
+        report.name = job.name
+    return reports
+
+
+def lift_cases_sequential(
+    cases: Sequence[KernelCase],
+    options: Optional[PipelineOptions] = None,
+    cache: Optional[SynthesisCache] = None,
+) -> List[KernelReport]:
+    """The in-process reference sweep the batch scheduler must reproduce."""
+    options = options or PipelineOptions()
+    reports: List[KernelReport] = []
+    for job in jobs_from_cases(cases):
+        reports.extend(_lift_job(job, options, cache))
+    return reports
+
+
+# One cache per worker process, built by the pool initializer: the store
+# file (or in-memory snapshot) is parsed once per worker, not once per job.
+_WORKER_CACHE: Optional[SynthesisCache] = None
+
+
+def _worker_init(
+    cache_path: Optional[str],
+    cache_entries: Optional[Dict[str, Dict[str, Any]]],
+    cache_failures: bool,
+    code_version: Optional[str],
+) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = None
+    if cache_path is None and cache_entries is None:
+        return
+    kwargs: Dict[str, Any] = {}
+    if code_version is not None:
+        kwargs["code_version"] = code_version
+    cache = SynthesisCache(cache_path, autosave=False, cache_failures=cache_failures, **kwargs)
+    if cache_entries:
+        cache.preload(cache_entries)
+    _WORKER_CACHE = cache
+
+
+def _worker_lift_job(
+    job: BatchJob,
+    options_payload: Dict[str, Any],
+) -> Tuple[int, List[KernelReport], Dict[str, Dict[str, Any]], int, int]:
+    """Process-pool entry point: lift one job, return reports + new cache entries."""
+    options = PipelineOptions(**options_payload)
+    cache = _WORKER_CACHE
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    reports = _lift_job(job, options, cache)
+    new_entries = cache.drain_new_entries() if cache is not None else {}
+    hits = cache.hits - hits_before if cache is not None else 0
+    misses = cache.misses - misses_before if cache is not None else 0
+    return job.index, reports, new_entries, hits, misses
+
+
+class BatchScheduler:
+    """Fan kernels out over a process pool; aggregate deterministically.
+
+    Parameters
+    ----------
+    options:
+        Pipeline tunables, shipped to every worker.
+    pool_size:
+        Worker process count (defaults to ``os.cpu_count()``).
+    cache:
+        Optional :class:`SynthesisCache`.  File-backed caches are opened
+        read-only by workers; in-memory caches are snapshotted into the
+        workers.  New entries always flow back through the parent, which
+        saves once per batch.
+    """
+
+    def __init__(
+        self,
+        options: Optional[PipelineOptions] = None,
+        pool_size: Optional[int] = None,
+        cache: Optional[SynthesisCache] = None,
+    ):
+        self.options = options or PipelineOptions()
+        self.pool_size = max(1, pool_size if pool_size is not None else (os.cpu_count() or 1))
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Batch mode: one pool task per kernel case
+    # ------------------------------------------------------------------
+    def lift_cases(self, cases: Sequence[KernelCase]) -> BatchResult:
+        """Lift every case on the pool; reports come back in submission order."""
+        jobs = jobs_from_cases(cases)
+        options_payload = asdict(self.options)
+        cache_path = str(self.cache.path) if self.cache is not None and self.cache.path else None
+        cache_entries = None
+        if self.cache is not None and cache_path is None:
+            cache_entries = self.cache.snapshot_entries()
+        cache_failures = self.cache.cache_failures if self.cache is not None else True
+
+        hits = misses = 0
+        results: Dict[int, List[KernelReport]] = {}
+        # Merge entries without autosaving per job: one atomic save per batch.
+        previous_autosave = self.cache.autosave if self.cache is not None else False
+        if self.cache is not None:
+            self.cache.autosave = False
+        code_version = self.cache.code_version if self.cache is not None else None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.pool_size,
+                initializer=_worker_init,
+                initargs=(cache_path, cache_entries, cache_failures, code_version),
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_lift_job, job, options_payload)
+                    for job in jobs
+                ]
+                for future in futures:
+                    index, reports, new_entries, job_hits, job_misses = future.result()
+                    results[index] = reports
+                    hits += job_hits
+                    misses += job_misses
+                    if self.cache is not None and new_entries:
+                        self.cache.merge_entries(new_entries)
+        finally:
+            if self.cache is not None:
+                self.cache.autosave = previous_autosave
+        if self.cache is not None:
+            self.cache.hits += hits
+            self.cache.misses += misses
+            self.cache.save()
+
+        ordered = [report for index in sorted(results) for report in results[index]]
+        return BatchResult(reports=ordered, cache_hits=hits, cache_misses=misses)
+
+    def lift_suite(self, suite: str) -> BatchResult:
+        return self.lift_cases(cases_for_suite(suite))
+
+    def lift_all(self) -> BatchResult:
+        return self.lift_cases(all_cases())
+
+    # ------------------------------------------------------------------
+    # Racing mode: one pool task per strategy for a single kernel
+    # ------------------------------------------------------------------
+    def lift_kernel(
+        self,
+        kernel,
+        suite: str = "",
+        is_stencil: bool = True,
+        points: Optional[int] = None,
+        reduction_like: bool = False,
+    ) -> KernelReport:
+        """Lift one IR kernel, racing its strategies across the pool."""
+        workers = min(self.pool_size, len(STRATEGIES)) or 1
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pipeline = STNGPipeline(self.options, cache=self.cache, executor=pool)
+            return pipeline.lift_kernel(
+                kernel,
+                suite=suite,
+                is_stencil=is_stencil,
+                points=points,
+                reduction_like=reduction_like,
+            )

@@ -88,10 +88,50 @@ class KernelReport:
 
 
 class STNGPipeline:
-    """Figure 3's toolchain: frontend, summary search, verification, codegen."""
+    """Figure 3's toolchain: frontend, summary search, verification, codegen.
 
-    def __init__(self, options: Optional[PipelineOptions] = None):
+    The expensive middle stage (synthesis) is injectable:
+
+    ``cache``
+        an optional :class:`repro.cache.SynthesisCache`; verified
+        summaries (and definitive failures) are replayed from it so
+        warm runs skip synthesis entirely.
+    ``executor``
+        an optional :mod:`concurrent.futures` executor; when present,
+        the CEGIS strategies for each kernel are raced on it with
+        first-verified-wins cancellation (see
+        :func:`repro.synthesis.cegis.synthesize_kernel`).
+    ``synthesizer``
+        full override — a callable ``kernel -> CEGISResult`` (raising
+        :class:`SynthesisFailure` on failure) replacing the default
+        ``synthesize_kernel`` call; used by the batch scheduler.
+    """
+
+    def __init__(
+        self,
+        options: Optional[PipelineOptions] = None,
+        cache=None,
+        executor=None,
+        synthesizer=None,
+    ):
         self.options = options or PipelineOptions()
+        self.cache = cache
+        self.executor = executor
+        self._synthesizer = synthesizer
+
+    def _synthesize(self, kernel: Kernel) -> CEGISResult:
+        if self._synthesizer is not None:
+            return self._synthesizer(kernel)
+        return synthesize_kernel(
+            kernel,
+            trials=self.options.trials,
+            seed=self.options.seed,
+            max_candidates=self.options.max_candidates,
+            verifier_environments=self.options.verifier_environments,
+            cache=self.cache,
+            executor=self.executor,
+            timeout=self.options.synthesis_timeout,
+        )
 
     # ------------------------------------------------------------------
     # Front end
@@ -116,13 +156,7 @@ class STNGPipeline:
         )
         start = time.perf_counter()
         try:
-            result = synthesize_kernel(
-                kernel,
-                trials=self.options.trials,
-                seed=self.options.seed,
-                max_candidates=self.options.max_candidates,
-                verifier_environments=self.options.verifier_environments,
-            )
+            result = self._synthesize(kernel)
         except SynthesisFailure as exc:
             report.failure_reason = str(exc)
             report.lift_seconds = time.perf_counter() - start
@@ -130,8 +164,18 @@ class STNGPipeline:
         report.lift_seconds = time.perf_counter() - start
         report.lift = result
         report.outcome = KernelOutcome.TRANSLATED
+        self._finalize_report(report, kernel, result, points=points, reduction_like=reduction_like)
+        return report
 
-        # Backend code generation.
+    def _finalize_report(
+        self,
+        report: KernelReport,
+        kernel: Kernel,
+        result: CEGISResult,
+        points: Optional[int],
+        reduction_like: bool,
+    ) -> None:
+        """Backend code generation and performance evaluation for a lifted kernel."""
         try:
             report.stencils = postcondition_to_func(result.post)
             report.halide_cpp = [stencil.cpp_source for stencil in report.stencils]
@@ -146,7 +190,6 @@ class STNGPipeline:
             report.performance = self._evaluate_performance(
                 kernel, report.stencils, points=points, reduction_like=reduction_like
             )
-        return report
 
     def lift_source(
         self,

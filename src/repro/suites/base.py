@@ -28,6 +28,23 @@ class KernelCase:
     hand_optimized: bool = False
     notes: str = ""
 
+    @property
+    def procedure_name(self) -> str:
+        """Name of the procedure defined by ``source`` (for stencil flags).
+
+        Handles typed headers (``integer function foo(n)``) by scanning
+        for the definition keyword anywhere in the line; ``end`` lines
+        are skipped so the opening definition always wins.
+        """
+        for line in self.source.splitlines():
+            words = line.split()
+            if not words or words[0] == "end" or words[0].startswith("!"):
+                continue
+            for position, word in enumerate(words[:-1]):
+                if word in ("subroutine", "procedure", "function"):
+                    return words[position + 1].split("(")[0]
+        raise ValueError(f"case {self.name!r} has no procedure definition")
+
 
 Offset = Tuple[int, ...]
 

@@ -10,7 +10,14 @@ candidates to the full verifier.
 
 from repro.synthesis.invariants import build_invariants
 from repro.synthesis.space import CandidateSpace, SynthesisProblem, build_problem
-from repro.synthesis.cegis import CEGISResult, SynthesisFailure, synthesize_kernel
+from repro.synthesis.cegis import (
+    CEGISResult,
+    SynthesisFailure,
+    SynthesisTimeout,
+    synthesis_config,
+    synthesize_kernel,
+    synthesize_kernel_uncached,
+)
 from repro.synthesis.floatmodel import Mod7
 from repro.synthesis.skolem import partial_skolem_witnesses
 from repro.synthesis.strategies import STRATEGIES, Strategy
@@ -23,8 +30,11 @@ __all__ = [
     "Strategy",
     "SynthesisFailure",
     "SynthesisProblem",
+    "SynthesisTimeout",
     "build_invariants",
     "build_problem",
     "partial_skolem_witnesses",
+    "synthesis_config",
     "synthesize_kernel",
+    "synthesize_kernel_uncached",
 ]

@@ -1,9 +1,20 @@
 """The CEGIS driver (§3, §4.5).
 
 For each kernel the driver builds several synthesis problems (one per
-applicable strategy), and solves them in order (the paper runs them in
-parallel on a cluster; we run them sequentially and keep per-strategy
-timings).  Solving one problem is classic CEGIS:
+applicable strategy) and solves them.  By default they are solved
+sequentially in priority order; when an executor is injected
+(:func:`synthesize_kernel`'s ``executor`` parameter) the strategies are
+*raced* in parallel — the paper ran them on a cluster — with
+first-verified-wins semantics: as soon as the highest-priority strategy
+that can verify has done so, every lower-priority strategy still
+pending is cancelled.  Both paths produce identical results because the
+winner is always the first strategy in priority order that verifies.
+
+A content-addressed cache (:mod:`repro.cache`) can also be injected:
+on a hit the verified summary (or the recorded definitive failure) is
+replayed without synthesizing at all.
+
+Solving one problem is classic CEGIS:
 
 1. enumerate candidates from the template-derived space;
 2. reject candidates that violate any VC clause on the current set of
@@ -22,9 +33,11 @@ from __future__ import annotations
 
 import random
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.serialize import CachePayloadError
 from repro.ir import nodes as ir
 from repro.predicates.language import Postcondition
 from repro.predicates.restrictions import check_postcondition_restrictions
@@ -42,6 +55,15 @@ from repro.synthesis.strategies import STRATEGIES, Strategy
 
 class SynthesisFailure(Exception):
     """Raised when no strategy produces a verified summary for a kernel."""
+
+
+class SynthesisTimeout(SynthesisFailure):
+    """Raised when synthesis exceeds its time budget.
+
+    A distinct subclass because timeouts are wall-clock-dependent: they
+    must never be recorded in the content-addressed cache as definitive
+    failures (a rerun on an idle machine might verify the kernel).
+    """
 
 
 @dataclass
@@ -146,21 +168,39 @@ def _solve_problem(
     return None
 
 
-def synthesize_kernel(
-    kernel: ir.Kernel,
-    trials: int = 2,
-    seed: int = 0,
-    strategies: Optional[Sequence[Strategy]] = None,
-    max_candidates: int = 2000,
-    quick_samples: int = 2,
-    verifier_environments: int = 2,
-) -> CEGISResult:
-    """Lift one kernel: template generation, CEGIS, verification.
+def _strategy_seed(seed: int, strategy_name: str) -> int:
+    """Stable per-strategy RNG seed.
 
-    Raises :class:`SynthesisFailure` when template generation cannot
-    express the kernel or no candidate verifies under any strategy.
+    CRC32 rather than ``hash()``: Python string hashing is randomized
+    per process, which would make results differ between the sequential
+    path and process-pool workers (and between repeated runs).
     """
-    strategies = list(strategies) if strategies is not None else list(STRATEGIES)
+    return seed + zlib.crc32(strategy_name.encode("utf-8")) % 1000
+
+
+def synthesis_config(
+    trials: int,
+    seed: int,
+    max_candidates: int,
+    quick_samples: int,
+    verifier_environments: int,
+    strategies: Sequence[str],
+) -> Dict[str, Any]:
+    """The options that determine a synthesis outcome, as a cache-key mapping."""
+    return {
+        "trials": trials,
+        "seed": seed,
+        "max_candidates": max_candidates,
+        "quick_samples": quick_samples,
+        "verifier_environments": verifier_environments,
+        "strategies": list(strategies),
+    }
+
+
+def _prepare_problem_inputs(
+    kernel: ir.Kernel, trials: int, seed: int, verifier_environments: int
+):
+    """Template generation and VC setup shared by every strategy."""
     try:
         runs = run_inductive_executions(kernel, trials=trials, seed=seed)
     except (SymbolicExecutionError, TypeError) as exc:
@@ -171,27 +211,294 @@ def synthesize_kernel(
         base_templates = generate_templates(kernel, runs)
     except TemplateGenerationError as exc:
         raise SynthesisFailure(f"template generation failed for {kernel.name}: {exc}") from exc
-
     vc = generate_vc(kernel)
     verifier = BoundedVerifier(vc, num_environments=verifier_environments, seed=seed)
+    return base_templates, vc, verifier
 
+
+def _attempt_strategy(
+    kernel: ir.Kernel,
+    strategy: Strategy,
+    base_templates: TemplateSet,
+    vc,
+    verifier: BoundedVerifier,
+    max_candidates: int,
+    quick_samples: int,
+    seed: int,
+) -> Tuple[bool, Optional[CEGISResult]]:
+    """Run one strategy; returns (applicable, verified result or None)."""
+    narrowed = strategy.apply(kernel, base_templates)
+    if narrowed is None:
+        return False, None
+    problem = build_problem(kernel, narrowed, vc=vc, strategy_name=strategy.name)
+    result = _solve_problem(
+        problem,
+        verifier,
+        max_candidates=max_candidates,
+        quick_samples=quick_samples,
+        seed=_strategy_seed(seed, strategy.name),
+    )
+    return True, result
+
+
+def _strategy_worker(
+    kernel: ir.Kernel,
+    strategy_name: str,
+    trials: int,
+    seed: int,
+    max_candidates: int,
+    quick_samples: int,
+    verifier_environments: int,
+) -> Tuple[str, Any]:
+    """Process-pool entry point: run one named strategy end to end.
+
+    Strategies are resolved by name from :data:`STRATEGIES` because the
+    strategy transforms are closures and do not pickle.  Template
+    generation and VC setup are replicated per worker — the cluster
+    model of the paper — and are deterministic, so a shared-setup
+    failure surfaces identically in every worker.
+    """
+    strategy = next((s for s in STRATEGIES if s.name == strategy_name), None)
+    if strategy is None:
+        return "error", f"unknown strategy {strategy_name!r}"
+    try:
+        base_templates, vc, verifier = _prepare_problem_inputs(
+            kernel, trials, seed, verifier_environments
+        )
+    except SynthesisFailure as exc:
+        return "prepare_failed", str(exc)
+    applicable, result = _attempt_strategy(
+        kernel, strategy, base_templates, vc, verifier, max_candidates, quick_samples, seed
+    )
+    return "done", (applicable, result)
+
+
+def _race_strategies(
+    kernel: ir.Kernel,
+    strategies: Sequence[Strategy],
+    executor,
+    trials: int,
+    seed: int,
+    max_candidates: int,
+    quick_samples: int,
+    verifier_environments: int,
+    timeout: Optional[float],
+) -> CEGISResult:
+    """Race every strategy on ``executor``; first-verified-in-priority-order wins.
+
+    Determinism: a strategy's verified result is only accepted once
+    every *higher*-priority strategy has completed without one, so the
+    winner is always the strategy the sequential path would have
+    returned.  Acceptance cancels every lower-priority strategy still
+    pending (first-verified-wins cancellation); strategies already
+    running finish on their worker and are discarded.
+    """
+    import concurrent.futures as cf
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    futures = [
+        executor.submit(
+            _strategy_worker,
+            kernel,
+            strategy.name,
+            trials,
+            seed,
+            max_candidates,
+            quick_samples,
+            verifier_environments,
+        )
+        for strategy in strategies
+    ]
+    try:
+        while True:
+            # Resolve in priority order over the currently-known outcomes.
+            failures: List[str] = []
+            winner: Optional[CEGISResult] = None
+            undecided = False
+            for strategy, future in zip(strategies, futures):
+                if not future.done():
+                    undecided = True
+                    break
+                status, value = future.result()
+                if status in ("prepare_failed", "error"):
+                    raise SynthesisFailure(str(value))
+                applicable, result = value
+                if result is not None:
+                    winner = result
+                    break
+                if applicable:
+                    failures.append(strategy.name)
+            if winner is not None:
+                return winner
+            if not undecided:
+                raise SynthesisFailure(
+                    f"no strategy produced a verified summary for {kernel.name} "
+                    f"(tried: {', '.join(failures) or 'none applicable'})"
+                )
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SynthesisTimeout(
+                        f"synthesis for {kernel.name} timed out after {timeout}s"
+                    )
+            cf.wait(
+                [f for f in futures if not f.done()],
+                timeout=remaining,
+                return_when=cf.FIRST_COMPLETED,
+            )
+    finally:
+        for future in futures:
+            future.cancel()
+
+
+def synthesize_kernel_uncached(
+    kernel: ir.Kernel,
+    trials: int = 2,
+    seed: int = 0,
+    strategies: Optional[Sequence[Strategy]] = None,
+    max_candidates: int = 2000,
+    quick_samples: int = 2,
+    verifier_environments: int = 2,
+    executor=None,
+    timeout: Optional[float] = None,
+) -> CEGISResult:
+    """Lift one kernel without consulting any cache.
+
+    With ``executor=None`` strategies run sequentially in priority
+    order; with a :mod:`concurrent.futures` executor they are raced
+    (custom ``strategies`` objects cannot be shipped to workers, so an
+    explicit ``strategies`` argument forces the sequential path).
+    ``timeout`` bounds the total synthesis time — between strategies on
+    the sequential path, and as a hard wait deadline when racing.
+
+    Raises :class:`SynthesisFailure` when template generation cannot
+    express the kernel or no candidate verifies under any strategy.
+    """
+    use_racing = executor is not None and strategies is None
+    strategies = list(strategies) if strategies is not None else list(STRATEGIES)
+    if use_racing:
+        return _race_strategies(
+            kernel,
+            strategies,
+            executor,
+            trials=trials,
+            seed=seed,
+            max_candidates=max_candidates,
+            quick_samples=quick_samples,
+            verifier_environments=verifier_environments,
+            timeout=timeout,
+        )
+
+    start = time.monotonic()
+    base_templates, vc, verifier = _prepare_problem_inputs(
+        kernel, trials, seed, verifier_environments
+    )
     failures: List[str] = []
     for strategy in strategies:
-        narrowed = strategy.apply(kernel, base_templates)
-        if narrowed is None:
-            continue
-        problem = build_problem(kernel, narrowed, vc=vc, strategy_name=strategy.name)
-        result = _solve_problem(
-            problem,
+        if timeout is not None and time.monotonic() - start > timeout:
+            raise SynthesisTimeout(f"synthesis for {kernel.name} timed out after {timeout}s")
+        applicable, result = _attempt_strategy(
+            kernel,
+            strategy,
+            base_templates,
+            vc,
             verifier,
             max_candidates=max_candidates,
             quick_samples=quick_samples,
-            seed=seed + hash(strategy.name) % 1000,
+            seed=seed,
         )
         if result is not None:
             return result
-        failures.append(strategy.name)
+        if applicable:
+            failures.append(strategy.name)
     raise SynthesisFailure(
         f"no strategy produced a verified summary for {kernel.name} "
         f"(tried: {', '.join(failures) or 'none applicable'})"
     )
+
+
+def synthesize_kernel(
+    kernel: ir.Kernel,
+    trials: int = 2,
+    seed: int = 0,
+    strategies: Optional[Sequence[Strategy]] = None,
+    max_candidates: int = 2000,
+    quick_samples: int = 2,
+    verifier_environments: int = 2,
+    cache=None,
+    executor=None,
+    timeout: Optional[float] = None,
+) -> CEGISResult:
+    """Lift one kernel: template generation, CEGIS, verification.
+
+    ``cache`` is an optional :class:`repro.cache.SynthesisCache`: a hit
+    replays the stored verified summary (or recorded failure) without
+    synthesizing; a miss synthesizes and records the outcome.
+    ``executor`` is an optional :mod:`concurrent.futures` executor used
+    to race the strategies (see :func:`synthesize_kernel_uncached`).
+
+    Raises :class:`SynthesisFailure` when template generation cannot
+    express the kernel or no candidate verifies under any strategy.
+    """
+    strategy_list = list(strategies) if strategies is not None else list(STRATEGIES)
+    # The cache keys strategies by *name*, which only identifies behaviour
+    # for the built-in roster: a caller-supplied Strategy object with a
+    # familiar name but a different transform must not hit (or poison)
+    # entries recorded for the built-in, so custom strategies bypass the
+    # cache entirely.
+    custom_strategies = any(
+        not any(s is builtin for builtin in STRATEGIES) for s in strategy_list
+    )
+    if custom_strategies:
+        cache = None
+    fingerprint: Optional[str] = None
+    if cache is not None:
+        config = synthesis_config(
+            trials=trials,
+            seed=seed,
+            max_candidates=max_candidates,
+            quick_samples=quick_samples,
+            verifier_environments=verifier_environments,
+            strategies=[s.name for s in strategy_list],
+        )
+        fingerprint = cache.fingerprint(kernel, config)
+        hit = cache.get(fingerprint)
+        if hit is not None:
+            if not hit.verified:
+                cache.hits += 1
+                raise SynthesisFailure(hit.failure_message)
+            try:
+                result = hit.result(kernel)
+            except CachePayloadError:
+                # A payload this code can no longer decode degrades to a
+                # cold run (and the fresh result overwrites the entry).
+                cache.misses += 1
+            else:
+                cache.hits += 1
+                return result
+        else:
+            cache.misses += 1
+
+    try:
+        result = synthesize_kernel_uncached(
+            kernel,
+            trials=trials,
+            seed=seed,
+            strategies=strategies,
+            max_candidates=max_candidates,
+            quick_samples=quick_samples,
+            verifier_environments=verifier_environments,
+            executor=executor,
+            timeout=timeout,
+        )
+    except SynthesisTimeout:
+        # Wall-clock-dependent: never recorded as a definitive failure.
+        raise
+    except SynthesisFailure as exc:
+        if cache is not None and fingerprint is not None:
+            cache.record_failure(fingerprint, str(exc), kernel_name=kernel.name)
+        raise
+    if cache is not None and fingerprint is not None:
+        cache.record_result(fingerprint, result, kernel_name=kernel.name)
+    return result

@@ -1,0 +1,156 @@
+"""Edge-case regressions for the Fortran-subset parser (§5.1 front end).
+
+Covers the degenerate shapes real HPC sources throw at the front end —
+empty loop bodies, deeply nested conditionals, spaced ``end do`` forms —
+and checks that malformed input fails with a :class:`ParseError` whose
+message carries the offending line, feeding useful rejections to the
+candidate identifier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.ast import DoLoop, IfBlock
+from repro.frontend.candidates import RejectionReason
+from repro.frontend.parser import ParseError
+
+
+def _wrap(body: str) -> str:
+    return (
+        "subroutine edge(ilo, ihi, u)\n"
+        "real (kind=8), dimension(ilo:ihi) :: u\n"
+        "integer :: ilo, ihi\n"
+        f"{body}\n"
+        "end subroutine edge\n"
+    )
+
+
+class TestEmptyLoopBodies:
+    def test_empty_loop_parses(self):
+        program = parse_source(_wrap("do i = ilo, ihi\nenddo"))
+        (loop,) = program.procedures[0].body
+        assert isinstance(loop, DoLoop)
+        assert loop.body == []
+
+    def test_empty_loop_is_rejected_not_crashed(self):
+        report = identify_candidates(parse_source(_wrap("do i = ilo, ihi\nenddo")))
+        assert not report.candidates
+        assert report.rejections
+        assert RejectionReason.NO_ARRAYS in report.rejections[0].reasons
+
+    def test_empty_nested_loops(self):
+        source = _wrap("do j = ilo, ihi\ndo i = ilo, ihi\nenddo\nenddo")
+        program = parse_source(source)
+        (outer,) = program.procedures[0].body
+        (inner,) = outer.body
+        assert isinstance(inner, DoLoop) and inner.body == []
+
+
+class TestNestedConditionals:
+    DEPTH = 12
+
+    def _deep_source(self) -> str:
+        lines = ["do i = ilo, ihi"]
+        for level in range(self.DEPTH):
+            lines.append(f"if (u(i) > {level}) then")
+        lines.append("u(i) = u(i) + 1")
+        for _ in range(self.DEPTH):
+            lines.append("endif")
+        lines.append("enddo")
+        return _wrap("\n".join(lines))
+
+    def test_deeply_nested_conditionals_parse(self):
+        program = parse_source(self._deep_source())
+        (loop,) = program.procedures[0].body
+        depth = 0
+        node = loop.body[0]
+        while isinstance(node, IfBlock):
+            depth += 1
+            node = node.then_body[0] if node.then_body else None
+        assert depth == self.DEPTH
+
+    def test_conditional_loop_is_rejected_with_reason(self):
+        report = identify_candidates(parse_source(self._deep_source()))
+        assert not report.candidates
+        assert RejectionReason.CONDITIONAL in report.rejections[0].reasons
+
+    def test_else_branches_nest(self):
+        source = _wrap(
+            "do i = ilo, ihi\n"
+            "if (u(i) > 0) then\n"
+            "u(i) = 1\n"
+            "else\n"
+            "if (u(i) > 1) then\n"
+            "u(i) = 2\n"
+            "else\n"
+            "u(i) = 3\n"
+            "endif\n"
+            "endif\n"
+            "enddo"
+        )
+        program = parse_source(source)
+        (loop,) = program.procedures[0].body
+        outer_if = loop.body[0]
+        assert isinstance(outer_if, IfBlock)
+        assert isinstance(outer_if.else_body[0], IfBlock)
+
+    def test_spaced_end_forms(self):
+        source = _wrap(
+            "do i = ilo, ihi\n"
+            "if (u(i) > 0) then\n"
+            "u(i) = 1\n"
+            "end if\n"
+            "end do"
+        )
+        program = parse_source(source)
+        (loop,) = program.procedures[0].body
+        assert isinstance(loop.body[0], IfBlock)
+
+
+class TestMalformedBounds:
+    def test_missing_upper_bound(self):
+        with pytest.raises(ParseError, match=r"line \d+"):
+            parse_source(_wrap("do i = ilo\nu(i) = 0\nenddo"))
+
+    def test_empty_lower_bound(self):
+        with pytest.raises(ParseError, match=r"line \d+.*','"):
+            parse_source(_wrap("do i = , ihi\nu(i) = 0\nenddo"))
+
+    def test_missing_loop_variable(self):
+        with pytest.raises(ParseError, match=r"line \d+"):
+            parse_source(_wrap("do = ilo, ihi\nu(i) = 0\nenddo"))
+
+    def test_unterminated_loop(self):
+        with pytest.raises(ParseError, match="end of file"):
+            parse_source("subroutine s(n, u)\ndo i = 1, n\nu(i) = 0\n")
+
+    def test_unbalanced_parenthesis_in_bound(self):
+        with pytest.raises(ParseError, match=r"line \d+"):
+            parse_source(_wrap("do i = (ilo, ihi\nu(i) = 0\nenddo"))
+
+    def test_malformed_dimension_spec(self):
+        source = (
+            "subroutine s(n, u)\n"
+            "real (kind=8), dimension(1: :: u\n"
+            "do i = 1, n\nu(i) = 0\nenddo\n"
+            "end subroutine s\n"
+        )
+        with pytest.raises(ParseError, match=r"line \d+"):
+            parse_source(source)
+
+    def test_empty_one_line_if(self):
+        with pytest.raises(ParseError, match="empty one-line if"):
+            parse_source(_wrap("do i = ilo, ihi\nif (u(i) > 0)\nenddo"))
+
+    def test_trailing_tokens_after_assignment(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_source(_wrap("do i = ilo, ihi\nu(i) = 1 2\nenddo"))
+
+    def test_error_message_names_the_offending_line(self):
+        source = _wrap("do i = ilo, ihi\nu(i) = 0\nenddo")
+        bad_line = source.splitlines().index("do i = ilo, ihi") + 1
+        broken = source.replace("do i = ilo, ihi", "do i = ilo")
+        with pytest.raises(ParseError, match=rf"line {bad_line}"):
+            parse_source(broken)

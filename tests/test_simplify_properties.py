@@ -1,0 +1,133 @@
+"""Property-based coverage of :func:`repro.symbolic.simplify.simplify`.
+
+Random affine expressions over a small symbol pool are checked for the
+two properties the rest of the system relies on:
+
+* **idempotence** — ``simplify(simplify(e))`` is structurally equal to
+  ``simplify(e)`` (canonical forms are fixed points); and
+* **evaluation equivalence** — ``simplify(e)`` evaluates to exactly the
+  same rational value as ``e`` under random integer environments.
+
+Evaluation is exact (``Fraction``), so equivalence is equality, not an
+epsilon comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.expr import Add, Const, Div, Expr, Mul, Neg, Sub, Sym, const
+from repro.symbolic.simplify import collect_affine, is_affine_in, simplify, substitute
+
+SYMBOLS = ("i", "j", "k", "n", "m")
+
+
+def random_affine(rng: random.Random, depth: int = 4) -> Expr:
+    """A random expression that is affine in :data:`SYMBOLS`."""
+    if depth == 0 or rng.random() < 0.25:
+        if rng.random() < 0.5:
+            return Sym(rng.choice(SYMBOLS))
+        return Const(Fraction(rng.randint(-5, 5)))
+    shape = rng.randrange(5)
+    if shape == 0:
+        return Add(random_affine(rng, depth - 1), random_affine(rng, depth - 1))
+    if shape == 1:
+        return Sub(random_affine(rng, depth - 1), random_affine(rng, depth - 1))
+    if shape == 2:
+        return Neg(random_affine(rng, depth - 1))
+    if shape == 3:
+        # Multiplication by a constant keeps the expression affine.
+        factor = Const(Fraction(rng.randint(-4, 4)))
+        body = random_affine(rng, depth - 1)
+        return Mul(factor, body) if rng.random() < 0.5 else Mul(body, factor)
+    divisor = Const(Fraction(rng.choice([-3, -2, 2, 3, 4])))
+    return Div(random_affine(rng, depth - 1), divisor)
+
+
+def evaluate(expr: Expr, env) -> Fraction:
+    """Exact reference evaluation with rational arithmetic."""
+    if isinstance(expr, Const):
+        return Fraction(expr.value)
+    if isinstance(expr, Sym):
+        return Fraction(env[expr.name])
+    if isinstance(expr, Add):
+        return evaluate(expr.left, env) + evaluate(expr.right, env)
+    if isinstance(expr, Sub):
+        return evaluate(expr.left, env) - evaluate(expr.right, env)
+    if isinstance(expr, Mul):
+        return evaluate(expr.left, env) * evaluate(expr.right, env)
+    if isinstance(expr, Div):
+        return evaluate(expr.left, env) / evaluate(expr.right, env)
+    if isinstance(expr, Neg):
+        return -evaluate(expr.operand, env)
+    raise TypeError(f"unexpected node {expr!r}")
+
+
+def random_env(rng: random.Random):
+    return {name: rng.randint(-7, 7) for name in SYMBOLS}
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_simplify_idempotent_and_evaluation_equivalent(seed):
+    rng = random.Random(seed)
+    expr = random_affine(rng)
+    simplified = simplify(expr)
+    assert simplify(simplified) == simplified, f"not a fixed point: {expr!r}"
+    for _ in range(5):
+        env = random_env(rng)
+        assert evaluate(expr, env) == evaluate(simplified, env), (
+            f"simplify changed the value of {expr!r} under {env}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(61, 91))
+def test_difference_of_equal_expressions_is_zero(seed):
+    rng = random.Random(seed)
+    expr = random_affine(rng)
+    assert simplify(Sub(expr, expr)) == Const(Fraction(0))
+
+
+@pytest.mark.parametrize("seed", range(92, 122))
+def test_doubling_equals_scaling(seed):
+    rng = random.Random(seed)
+    expr = random_affine(rng)
+    assert simplify(Add(expr, expr)) == simplify(Mul(Const(Fraction(2)), expr))
+
+
+@pytest.mark.parametrize("seed", range(123, 153))
+def test_commuted_sum_canonicalises_identically(seed):
+    rng = random.Random(seed)
+    left = random_affine(rng, depth=3)
+    right = random_affine(rng, depth=3)
+    assert simplify(Add(left, right)) == simplify(Add(right, left))
+
+
+@pytest.mark.parametrize("seed", range(154, 174))
+def test_random_affine_is_recognised_as_affine(seed):
+    rng = random.Random(seed)
+    expr = random_affine(rng)
+    assert is_affine_in(expr, SYMBOLS)
+    decomposition = collect_affine(expr, SYMBOLS)
+    assert decomposition is not None
+    coeffs, rest = decomposition
+    # Reconstructing from the decomposition preserves the value.
+    env = random_env(rng)
+    reconstructed = sum(
+        (coeff * Fraction(env[name]) for name, coeff in coeffs.items()),
+        start=evaluate(rest, env),
+    )
+    assert reconstructed == evaluate(expr, env)
+
+
+@pytest.mark.parametrize("seed", range(175, 195))
+def test_substitute_then_simplify_matches_evaluation(seed):
+    rng = random.Random(seed)
+    expr = random_affine(rng)
+    env = random_env(rng)
+    bound = substitute(expr, {name: const(value) for name, value in env.items()})
+    folded = simplify(bound)
+    assert folded == Const(evaluate(expr, env)) or isinstance(folded, Const)
+    assert Fraction(folded.value) == evaluate(expr, env)
