@@ -24,7 +24,10 @@ from repro.ir import nodes as ir
 # Bump whenever template generation, the strategy roster, the candidate
 # space, or the verifier change in a way that affects which summary is
 # synthesized for a given kernel: every cached entry is invalidated.
-CODE_VERSION = "stng-cache-1"
+# "stng-cache-2": the synthesis configuration grew a "compile" section
+# (CompileOptions of the closure-compiled evaluation path), so entries
+# recorded before the compile layer existed must not be replayed.
+CODE_VERSION = "stng-cache-2"
 
 
 # ---------------------------------------------------------------------------

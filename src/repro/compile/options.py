@@ -1,0 +1,71 @@
+"""Options controlling the closure-compilation layer.
+
+:class:`CompileOptions` travels from :class:`~repro.pipeline.stng.PipelineOptions`
+through :func:`~repro.synthesis.cegis.synthesize_kernel` down to the
+bounded verifier, and is part of the synthesis cache fingerprint (so a
+summary recorded under one evaluation mode is never replayed as if it
+had been produced under another, even though the two modes are required
+to agree bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Tunables of the compiled evaluation path.
+
+    ``enabled``
+        Master switch.  ``False`` routes every check through the
+        original tree-walking interpreters (the bit-identical fallback).
+    ``fold_constants``
+        Evaluate constant subexpressions once at compile time (through
+        the same numeric helpers the interpreter uses, so folded values
+        are identical; operations that would raise are deferred to run
+        time so errors surface exactly where the interpreter raises).
+    ``codegen``
+        Flatten each tree into one ``compile()``-ed Python function
+        (:mod:`repro.compile.codegen`) instead of a closure per node.
+    ``specialize_indices``
+        Emit dedicated closures for the overwhelmingly common index
+        shapes (``v``, ``c``, ``v + c``) instead of generic dispatch
+        (closure backend only; codegen inlines everything anyway).
+    ``replay_counterexamples``
+        Check each new CEGIS candidate against the accumulated
+        counterexample buffer through the compiled clauses before
+        invoking the verifier tiers.
+    """
+
+    enabled: bool = True
+    fold_constants: bool = True
+    codegen: bool = True
+    specialize_indices: bool = True
+    replay_counterexamples: bool = True
+
+    def config(self) -> Dict[str, Any]:
+        """Cache-fingerprint encoding (see :mod:`repro.cache.fingerprint`)."""
+        return {
+            "enabled": self.enabled,
+            "fold_constants": self.fold_constants,
+            "codegen": self.codegen,
+            "specialize_indices": self.specialize_indices,
+            "replay_counterexamples": self.replay_counterexamples,
+        }
+
+    @classmethod
+    def coerce(
+        cls, value: Union["CompileOptions", Mapping[str, Any], None]
+    ) -> "CompileOptions":
+        """Normalise ``None``/mapping payloads (``dataclasses.asdict``
+        round-trips through the process-pool scheduler) to options."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(**dict(value))
+
+
+INTERPRETED = CompileOptions(enabled=False)

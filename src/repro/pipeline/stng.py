@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.autotune import autotune
 from repro.backend.cgen import emit_serial_c
+from repro.compile import CompileOptions
 from repro.backend.gluegen import emit_fortran_glue
 from repro.backend.halidegen import (
     GeneratedStencil,
@@ -40,7 +41,15 @@ class KernelOutcome(str, Enum):
 
 @dataclass
 class PipelineOptions:
-    """Tunables of the pipeline (defaults keep the full suite under a few minutes)."""
+    """Tunables of the pipeline (defaults keep the full suite under a few minutes).
+
+    ``compile_options`` selects the synthesis evaluation backend
+    (closure-compiled by default; ``CompileOptions(enabled=False)``
+    falls back to the tree-walking interpreters with bit-identical
+    results).  A plain mapping is accepted too, because the batch
+    scheduler round-trips options through ``dataclasses.asdict`` on
+    their way to pool workers.
+    """
 
     seed: int = 0
     trials: int = 2
@@ -48,6 +57,10 @@ class PipelineOptions:
     max_candidates: int = 2000
     verifier_environments: int = 2
     synthesis_timeout: Optional[float] = None
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+
+    def __post_init__(self) -> None:
+        self.compile_options = CompileOptions.coerce(self.compile_options)
 
 
 @dataclass
@@ -131,6 +144,7 @@ class STNGPipeline:
             cache=self.cache,
             executor=self.executor,
             timeout=self.options.synthesis_timeout,
+            compile_options=self.options.compile_options,
         )
 
     # ------------------------------------------------------------------

@@ -105,16 +105,21 @@ def evaluate_quantified(
     return True
 
 
+# Guard comparisons are encoded as Call nodes with these function names;
+# the compiled evaluation backends (:mod:`repro.compile`) import this
+# mapping so interpreter and compiled guards can never drift apart.
+GUARD_OPS = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "/="}
+
+
 def _evaluate_guard(guard: Expr, state: State, bindings: Mapping[str, Value]) -> bool:
     """Evaluate a guard expression (a comparison encoded as a Call node)."""
     from repro.symbolic.expr import Call
 
-    if isinstance(guard, Call) and guard.func in {"lt", "le", "gt", "ge", "eq", "ne"}:
-        ops = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "/="}
+    if isinstance(guard, Call) and guard.func in GUARD_OPS:
         left = eval_sym_expr(guard.args[0], state, bindings)
         right = eval_sym_expr(guard.args[1], state, bindings)
         try:
-            return compare_values(ops[guard.func], left, right)
+            return compare_values(GUARD_OPS[guard.func], left, right)
         except EvalError as exc:
             raise PredicateEvalError(str(exc)) from exc
     raise PredicateEvalError(f"unsupported guard expression {guard!r}")

@@ -21,6 +21,7 @@ from fractions import Fraction
 from typing import Dict, Mapping, Optional
 
 from repro.ir import nodes as ir
+from repro.semantics.numeric import EvalError, coerce_number, compare_values
 from repro.semantics.state import (
     State,
     Value,
@@ -43,10 +44,6 @@ from repro.symbolic.expr import (
     Sub,
     Sym,
 )
-
-
-class EvalError(Exception):
-    """Raised when an expression cannot be evaluated in the given state."""
 
 
 _CONCRETE_FUNCS = {
@@ -152,34 +149,11 @@ def eval_ir_condition(expr: ir.ValueExpr, state: State) -> bool:
     return bool(value)
 
 
-def compare_values(op: str, left: Value, right: Value) -> bool:
-    """Compare two values; symbolic operands must simplify to constants."""
-    left = _force_number(left)
-    right = _force_number(right)
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
-    if op == "==":
-        return left == right
-    if op in {"/=", "!="}:
-        return left != right
-    raise EvalError(f"unknown comparison operator {op!r}")
-
-
-def _force_number(value: Value):
-    if isinstance(value, Expr):
-        from repro.symbolic.simplify import simplify
-
-        folded = simplify(value)
-        if isinstance(folded, Const):
-            return folded.value
-        raise EvalError(f"expected a concrete number, got symbolic value {value!r}")
-    return value
+# ``compare_values`` and ``_force_number`` live in
+# :mod:`repro.semantics.numeric` (as ``compare_values``/``coerce_number``)
+# so that the interpreted and compiled evaluators share one
+# implementation; they are re-exported here for compatibility.
+_force_number = coerce_number
 
 
 # ---------------------------------------------------------------------------

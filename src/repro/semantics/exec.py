@@ -28,7 +28,13 @@ class ExecutionError(Exception):
     """Raised when a statement cannot be executed in the given state."""
 
 
-def execute_statement(stmt: ir.Stmt, state: State, max_iterations: int = 1_000_000) -> State:
+# Default per-loop iteration budget; the compiled statement backends
+# (:mod:`repro.compile`) import this so both evaluation modes always
+# share one budget.
+MAX_ITERATIONS = 1_000_000
+
+
+def execute_statement(stmt: ir.Stmt, state: State, max_iterations: int = MAX_ITERATIONS) -> State:
     """Execute ``stmt`` in-place on ``state`` and return the state."""
     if isinstance(stmt, ir.Block):
         for inner in stmt.statements:
@@ -84,7 +90,7 @@ def execute_block_straightline(statements: Iterable[ir.Stmt], state: State) -> S
     return state
 
 
-def execute_kernel(kernel: ir.Kernel, state: Optional[State] = None, max_iterations: int = 1_000_000) -> State:
+def execute_kernel(kernel: ir.Kernel, state: Optional[State] = None, max_iterations: int = MAX_ITERATIONS) -> State:
     """Execute a whole kernel body on ``state`` (a fresh state by default)."""
     if state is None:
         state = State()

@@ -49,9 +49,24 @@ class ArrayValue:
         self._default = default or (lambda arr, idx: sym_cell(arr, *idx))
 
     def load(self, index: Index) -> Value:
+        # Fast path: callers overwhelmingly pass true integer tuples
+        # (``require_int``-coerced); mixed float/int tuples hash and
+        # compare equal to their integer forms, so the probe is exact.
+        hit = self.cells.get(index)
+        if hit is not None:
+            return hit
         index = tuple(int(i) for i in index)
         if index in self.cells:
             return self.cells[index]
+        return self._default(self.name, index)
+
+    def default_for(self, index: Index) -> Value:
+        """Unwritten-cell value for an already-int-coerced missing index.
+
+        Used by generated code after an inline ``cells.get`` miss; the
+        index is guaranteed to be a true integer tuple, so ``load``'s
+        re-coercion and re-probe are skipped.
+        """
         return self._default(self.name, index)
 
     def store(self, index: Index, value: Value) -> None:
@@ -71,8 +86,22 @@ class ArrayValue:
 
 
 def fresh_symbolic_array(name: str) -> ArrayValue:
-    """Array whose unwritten cells read back as symbolic references to ``name``."""
-    return ArrayValue(name, default=lambda arr, idx: sym_cell(arr, *idx))
+    """Array whose unwritten cells read back as symbolic references to ``name``.
+
+    The fresh :class:`ArrayCell` for a given index is memoised: repeated
+    reads of the same unwritten cell are frequent in verification, and
+    hash-consing makes the cached node the one every reader shares.
+    """
+    cells: Dict[Index, Expr] = {}
+
+    def default(arr: str, idx: Index, _cells=cells) -> Expr:
+        node = _cells.get(idx)
+        if node is None:
+            node = sym_cell(arr, *idx)
+            _cells[idx] = node
+        return node
+
+    return ArrayValue(name, default=default)
 
 
 def constant_array(name: str, value: Value) -> ArrayValue:
@@ -134,25 +163,25 @@ def _to_expr(value: Value) -> Expr:
 
 
 def value_add(a: Value, b: Value) -> Value:
-    if _is_symbolic(a) or _is_symbolic(b):
+    if isinstance(a, Expr) or isinstance(b, Expr):
         return _to_expr(a) + _to_expr(b)
     return a + b
 
 
 def value_sub(a: Value, b: Value) -> Value:
-    if _is_symbolic(a) or _is_symbolic(b):
+    if isinstance(a, Expr) or isinstance(b, Expr):
         return _to_expr(a) - _to_expr(b)
     return a - b
 
 
 def value_mul(a: Value, b: Value) -> Value:
-    if _is_symbolic(a) or _is_symbolic(b):
+    if isinstance(a, Expr) or isinstance(b, Expr):
         return _to_expr(a) * _to_expr(b)
     return a * b
 
 
 def value_div(a: Value, b: Value) -> Value:
-    if _is_symbolic(a) or _is_symbolic(b):
+    if isinstance(a, Expr) or isinstance(b, Expr):
         return _to_expr(a) / _to_expr(b)
     if isinstance(a, int) and isinstance(b, int):
         return Fraction(a, b)
@@ -160,7 +189,7 @@ def value_div(a: Value, b: Value) -> Value:
 
 
 def value_neg(a: Value) -> Value:
-    if _is_symbolic(a):
+    if isinstance(a, Expr):
         return -_to_expr(a)
     return -a
 
@@ -174,8 +203,25 @@ def value_equal(a: Value, b: Value) -> bool:
     return a == b
 
 
+def value_equal_interned(a: Value, b: Value) -> bool:
+    """``value_equal`` with the hash-consing identity shortcut.
+
+    Interned construction shares structurally equal expressions, so the
+    common case — a candidate reproducing an observed symbolic value
+    exactly — is an identity hit, short-circuiting the canonicalising
+    subtraction (``simplify(x - x)`` is ``0`` by construction, so the
+    decisions are identical).  Used by the compiled evaluation layer;
+    the interpreted fallback keeps the original comparison.
+    """
+    if a is b:
+        return True
+    return value_equal(a, b)
+
+
 def require_int(value: Value, context: str = "index") -> int:
     """Coerce a value to an integer index, failing loudly for symbolic values."""
+    if type(value) is int:
+        return value
     if isinstance(value, Expr):
         folded = simplify(value)
         from repro.symbolic.expr import Const

@@ -1,4 +1,4 @@
-"""Immutable symbolic expression trees.
+"""Immutable, hash-consed symbolic expression trees.
 
 The expression language is deliberately small: constants, symbols,
 array cells (a named array indexed by a tuple of index expressions),
@@ -11,24 +11,181 @@ math functions.
 Expressions are hashable and compare structurally, which the
 anti-unification algorithm (:mod:`repro.templates.antiunify`) and the
 verifier rely on.
+
+Construction is *interned* (hash-consed): building a node whose class
+and field values match an already-live node returns that same object,
+so structurally equal subtrees are shared.  Derived data — the node's
+hash, its pre-order ``walk()`` tuple, ``symbols()``/``arrays()``/
+``size()`` and ``repr`` — is computed once per node and cached, which
+is what makes identity-keyed memoisation (``simplify``, the closure
+compiler in :mod:`repro.compile`) effective.  Numeric field values are
+type-tagged in the intern key so ``Const(Fraction(2))`` and
+``Const(2.0)`` remain distinct objects (they print differently), even
+though they still compare equal structurally, exactly as before.
+
+Pickling reconstructs nodes *through their constructors* (see
+:meth:`Expr.__reduce__`), so expressions shipped to process-pool
+workers are re-interned on arrival and cached attributes never travel.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
 Number = Union[int, float, Fraction]
+
+
+# ---------------------------------------------------------------------------
+# Interning machinery
+# ---------------------------------------------------------------------------
+
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+class _Uninternable(Exception):
+    """Raised while keying a node whose child escaped interning."""
+
+
+def _key_part(value):
+    """Intern-key encoding of one field value.
+
+    Numbers are tagged with their concrete type (``2``, ``Fraction(2)``
+    and ``2.0`` hash and compare equal in Python, but produce different
+    ``repr`` output, so they must not share an interned node).  Floats
+    additionally carry their IEEE hex form so ``0.0`` and ``-0.0`` stay
+    distinct deterministically.
+
+    Child *expressions* are keyed by identity, not equality: interned
+    children make identity equivalent to structural equality at the
+    right granularity, whereas structural dict equality would conflate
+    ``Const(0.0)`` with ``Const(Fraction(0))`` children — and because
+    the dataclass ``__init__`` re-runs on an interned instance, such a
+    conflation would overwrite the shared node's fields in place.  A
+    node whose child somehow escaped interning is not interned either.
+    """
+    if isinstance(value, Expr):
+        if "_interned" not in value.__dict__:
+            raise _Uninternable
+        # A bare id() is unambiguous here: within one node class a field
+        # is either always expression-valued or never is.
+        return id(value)
+    if isinstance(value, tuple):
+        return tuple(_key_part(v) for v in value)
+    if isinstance(value, float):
+        return (float, value.hex())
+    if isinstance(value, Fraction):
+        return (Fraction, value.numerator, value.denominator)
+    return value
+
+
+# Reset threshold for the intern table: far above any single kernel's
+# synthesis (a few hundred thousand nodes) so identity sharing holds
+# within a problem, while bounding multi-suite batch runs.
+_INTERN_MAX = 1 << 21
+
+
+def intern_table_size() -> int:
+    """Number of live interned expression nodes (diagnostic)."""
+    return len(Expr._INTERN)
+
+
+def clear_intern_table() -> None:
+    """Drop the intern table (tests / long-running batch hygiene).
+
+    Existing nodes stay valid; equal nodes built before and after a
+    clear are no longer identical, merely structurally equal.  The
+    small-integer constant memo is dropped too — it must never hand out
+    nodes that are no longer in the table, or identity would silently
+    fracture for everything built on top of them.
+    """
+    Expr._INTERN.clear()
+    _INT_CONSTS.clear()
 
 
 class Expr:
     """Base class for all symbolic expressions.
 
-    Sub-classes are frozen dataclasses; instances are immutable and
-    hashable so they can be stored in sets and used as dictionary keys
-    (both anti-unification and counterexample caching rely on this).
+    Sub-classes are frozen dataclasses; instances are immutable,
+    hashable and interned, so they can be stored in sets and used as
+    dictionary keys (both anti-unification and counterexample caching
+    rely on this).
     """
+
+    _INTERN: Dict[tuple, "Expr"] = {}
+
+    def __new__(cls, *args, **kwargs):
+        if not args and not kwargs:
+            # copy/pickle protocols create bare instances; never intern them.
+            return object.__new__(cls)
+        try:
+            if kwargs:
+                names = _field_names(cls)
+                merged = dict(zip(names, args))
+                merged.update(kwargs)
+                values = tuple(merged[name] for name in names)
+            else:
+                values = args
+            if cls is Const and len(values) == 1:
+                # Specialised key: hashing a Fraction computes a modular
+                # inverse, so key Const nodes by (numerator, denominator)
+                # integers instead.  The leading tag keeps the numeric
+                # types apart (``2``, ``Fraction(2)`` and ``2.0`` hash
+                # equal but must stay distinct nodes).
+                value = values[0]
+                tv = value.__class__
+                if tv is Fraction:
+                    key = (cls, 0, value.numerator, value.denominator)
+                elif tv is float:
+                    key = (cls, 1, value.hex())
+                elif tv is int:
+                    key = (cls, 2, value)
+                else:
+                    key = (cls, tuple(_key_part(v) for v in values))
+            else:
+                key = (cls,) + tuple(_key_part(v) for v in values)
+        except (_Uninternable, TypeError, KeyError):
+            return object.__new__(cls)
+        try:
+            existing = Expr._INTERN.get(key)
+        except TypeError:
+            return object.__new__(cls)
+        if existing is not None:
+            return existing
+        if len(Expr._INTERN) >= _INTERN_MAX:
+            # Deterministic (size-based) reset bounds long batch runs:
+            # live nodes stay valid, equal nodes built before and after
+            # merely stop being identical, and every identity fast path
+            # has a structural fallback.
+            clear_intern_table()
+        self = object.__new__(cls)
+        object.__setattr__(self, "_interned", True)
+        Expr._INTERN[key] = self
+        return self
+
+    def __reduce__(self):
+        fields = tuple(getattr(self, name) for name in _field_names(self.__class__))
+        return (self.__class__, fields)
+
+    def _cached_hash(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            fields = tuple(getattr(self, name) for name in _field_names(self.__class__))
+            h = hash((self.__class__,) + fields)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    __hash__ = _cached_hash
 
     # -- operator sugar ---------------------------------------------------
     def __add__(self, other: "Expr | Number") -> "Expr":
@@ -69,23 +226,39 @@ class Expr:
             raise ValueError(f"{type(self).__name__} takes no children")
         return self
 
-    def walk(self) -> Iterable["Expr"]:
+    def _walk_nodes(self) -> Tuple["Expr", ...]:
+        nodes = self.__dict__.get("_nodes")
+        if nodes is None:
+            acc = [self]
+            for child in self.children():
+                acc.extend(child._walk_nodes())
+            nodes = tuple(acc)
+            object.__setattr__(self, "_nodes", nodes)
+        return nodes
+
+    def walk(self) -> Iterator["Expr"]:
         """Yield this node and every descendant, pre-order."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        return iter(self._walk_nodes())
 
     def symbols(self) -> frozenset:
         """Return the set of symbol names appearing in the expression."""
-        return frozenset(n.name for n in self.walk() if isinstance(n, Sym))
+        cached = self.__dict__.get("_symbols")
+        if cached is None:
+            cached = frozenset(n.name for n in self._walk_nodes() if isinstance(n, Sym))
+            object.__setattr__(self, "_symbols", cached)
+        return cached
 
     def arrays(self) -> frozenset:
         """Return the set of array names appearing in the expression."""
-        return frozenset(n.array for n in self.walk() if isinstance(n, ArrayCell))
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = frozenset(n.array for n in self._walk_nodes() if isinstance(n, ArrayCell))
+            object.__setattr__(self, "_arrays", cached)
+        return cached
 
     def size(self) -> int:
         """Number of AST nodes in the expression."""
-        return sum(1 for _ in self.walk())
+        return len(self._walk_nodes())
 
 
 @dataclass(frozen=True)
@@ -124,8 +297,12 @@ class ArrayCell(Expr):
         return ArrayCell(self.array, tuple(children))
 
     def __repr__(self) -> str:
-        inner = ", ".join(repr(i) for i in self.indices)
-        return f"{self.array}[{inner}]"
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            inner = ", ".join(repr(i) for i in self.indices)
+            cached = f"{self.array}[{inner}]"
+            object.__setattr__(self, "_repr", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -147,8 +324,12 @@ class Call(Expr):
         return Call(self.func, tuple(children))
 
     def __repr__(self) -> str:
-        inner = ", ".join(repr(a) for a in self.args)
-        return f"{self.func}({inner})"
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            inner = ", ".join(repr(a) for a in self.args)
+            cached = f"{self.func}({inner})"
+            object.__setattr__(self, "_repr", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -166,7 +347,11 @@ class _BinOp(Expr):
         return type(self)(left, right)
 
     def __repr__(self) -> str:
-        return f"({self.left!r} {self.OP} {self.right!r})"
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            cached = f"({self.left!r} {self.OP} {self.right!r})"
+            object.__setattr__(self, "_repr", cached)
+        return cached
 
 
 @dataclass(frozen=True, repr=False)
@@ -203,12 +388,29 @@ class Neg(Expr):
         return Neg(operand)
 
     def __repr__(self) -> str:
-        return f"(-{self.operand!r})"
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            cached = f"(-{self.operand!r})"
+            object.__setattr__(self, "_repr", cached)
+        return cached
+
+
+# Frozen dataclasses regenerate ``__hash__`` per class; rebind them all to
+# the base's cached implementation (consistent with the structural ``__eq__``
+# the dataclasses keep).
+for _cls in (Const, Sym, ArrayCell, Call, _BinOp, Add, Sub, Mul, Div, Neg):
+    _cls.__hash__ = Expr._cached_hash  # type: ignore[assignment]
+del _cls
 
 
 # ---------------------------------------------------------------------------
 # Constructor helpers
 # ---------------------------------------------------------------------------
+
+# Small-integer constants dominate coercions (array indices, offsets);
+# memoise them to skip both the Fraction construction and the intern probe.
+_INT_CONSTS: Dict[int, "Const"] = {}
+
 
 def as_expr(value: "Expr | Number | str") -> Expr:
     """Coerce a Python value into an :class:`Expr`.
@@ -221,7 +423,12 @@ def as_expr(value: "Expr | Number | str") -> Expr:
     if isinstance(value, bool):
         raise TypeError("booleans are not symbolic values")
     if isinstance(value, int):
-        return Const(Fraction(value))
+        node = _INT_CONSTS.get(value)
+        if node is None:
+            node = Const(Fraction(value))
+            if len(_INT_CONSTS) < 4096:
+                _INT_CONSTS[value] = node
+        return node
     if isinstance(value, Fraction):
         return Const(value)
     if isinstance(value, float):
@@ -270,7 +477,7 @@ def sub(left: Expr, right: Expr) -> Expr:
         return Const(_num_sub(left.value, right.value))
     if isinstance(right, Const) and right.value == 0:
         return left
-    if left == right:
+    if left is right or left == right:
         return Const(Fraction(0))
     return Sub(left, right)
 
@@ -335,14 +542,28 @@ def substitute_map(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
     """Replace every occurrence of a key expression with its mapped value.
 
     The substitution is simultaneous and structural: once a node matches
-    a key, its subtree is not descended into further.
+    a key, its subtree is not descended into further.  Shared (interned)
+    subtrees are rewritten once per call via an identity-keyed memo.
     """
-    if expr in mapping:
-        return mapping[expr]
-    children = expr.children()
-    if not children:
-        return expr
-    new_children = [substitute_map(c, mapping) for c in children]
-    if all(n is o for n, o in zip(new_children, children)):
-        return expr
-    return expr.with_children(new_children)
+    memo: Dict[int, Expr] = {}
+
+    def rec(node: Expr) -> Expr:
+        done = memo.get(id(node))
+        if done is not None:
+            return done
+        if node in mapping:
+            result = mapping[node]
+        else:
+            children = node.children()
+            if not children:
+                result = node
+            else:
+                new_children = [rec(c) for c in children]
+                if all(n is o for n, o in zip(new_children, children)):
+                    result = node
+                else:
+                    result = node.with_children(new_children)
+        memo[id(node)] = result
+        return result
+
+    return rec(expr)

@@ -66,10 +66,15 @@ class SymbolicRun:
         return [snap for snap in self.snapshots if snap.loop_id == loop_id]
 
 
+# Whole-run iteration budget for concrete-symbolic execution; shared with
+# the compiled recording executor (:mod:`repro.compile`).
+SYMBOLIC_EXECUTION_BUDGET = 200_000
+
+
 class _RecordingExecutor:
     """IR executor that records iteration-start snapshots per loop."""
 
-    def __init__(self, kernel: ir.Kernel, max_iterations: int = 200_000):
+    def __init__(self, kernel: ir.Kernel, max_iterations: int = SYMBOLIC_EXECUTION_BUDGET):
         self.kernel = kernel
         self.max_iterations = max_iterations
         self.snapshots: List[IterationSnapshot] = []
@@ -156,11 +161,25 @@ def build_symbolic_state(kernel: ir.Kernel, int_env: Dict[str, int]) -> State:
     return state
 
 
-def symbolic_execute(kernel: ir.Kernel, int_env: Dict[str, int]) -> SymbolicRun:
-    """Execute ``kernel`` with the given concrete integer environment."""
+def symbolic_execute(
+    kernel: ir.Kernel, int_env: Dict[str, int], compile_options=None
+) -> SymbolicRun:
+    """Execute ``kernel`` with the given concrete integer environment.
+
+    ``compile_options`` selects the evaluation backend; when enabled the
+    kernel body runs through the closure-compiled recording executor
+    (:class:`repro.compile.CompiledRecordingExecutor`), which is
+    bit-identical to the interpreted one.
+    """
     state = build_symbolic_state(kernel, int_env)
     executor = _RecordingExecutor(kernel)
-    executor.run(state)
+    if compile_options is not None and compile_options.enabled:
+        from repro.compile import CompiledRecordingExecutor
+
+        compiled = CompiledRecordingExecutor(kernel, compile_options)
+        compiled.run(state, executor._record)
+    else:
+        executor.run(state)
     observations: List[CellObservation] = []
     for array in output_arrays(kernel):
         for index in state.array(array).written_indices():
@@ -290,9 +309,10 @@ def run_inductive_executions(
     kernel: ir.Kernel,
     trials: int = 2,
     seed: int = 0,
+    compile_options=None,
 ) -> List[SymbolicRun]:
     """Run the kernel on ``trials`` distinct small integer environments."""
     runs = []
     for env in choose_integer_environments(kernel, count=trials, seed=seed):
-        runs.append(symbolic_execute(kernel, env))
+        runs.append(symbolic_execute(kernel, env, compile_options=compile_options))
     return runs

@@ -44,18 +44,31 @@ def substitute(expr: Expr, bindings: Mapping[str, "Expr | int | float"]) -> Expr
 
     Array cells are descended into so that index expressions are also
     substituted, but the array *name* itself is never rewritten.
+    Shared (interned) subtrees are rewritten once per call via an
+    identity-keyed memo.
     """
-    if isinstance(expr, Sym):
-        if expr.name in bindings:
-            return as_expr(bindings[expr.name])
-        return expr
-    children = expr.children()
-    if not children:
-        return expr
-    new_children = [substitute(c, bindings) for c in children]
-    if all(n is o for n, o in zip(new_children, children)):
-        return expr
-    return expr.with_children(new_children)
+    memo: Dict[int, Expr] = {}
+
+    def rec(node: Expr) -> Expr:
+        done = memo.get(id(node))
+        if done is not None:
+            return done
+        if isinstance(node, Sym):
+            result = as_expr(bindings[node.name]) if node.name in bindings else node
+        else:
+            children = node.children()
+            if not children:
+                result = node
+            else:
+                new_children = [rec(c) for c in children]
+                if all(n is o for n, o in zip(new_children, children)):
+                    result = node
+                else:
+                    result = node.with_children(new_children)
+        memo[id(node)] = result
+        return result
+
+    return rec(expr)
 
 
 # ---------------------------------------------------------------------------
@@ -69,6 +82,22 @@ def substitute(expr: Expr, bindings: Mapping[str, "Expr | int | float"]) -> Expr
 # first, so nested structures canonicalise bottom-up.
 
 
+# Canonical forms keyed by the *identity* of the (interned) input node,
+# with the node kept alive so its id stays valid.  Structural keying
+# would conflate a float constant with a numerically-equal Fraction
+# constant — they compare equal but canonicalise differently — making
+# the result depend on which twin warmed the cache.  ``simplify`` is
+# pure, so identity memoisation is behaviour-preserving; the
+# deterministic size cap keeps long batch runs bounded.
+_SIMPLIFY_CACHE: Dict[int, Tuple[Expr, Expr]] = {}
+_SIMPLIFY_CACHE_MAX = 1 << 17
+
+
+def clear_simplify_cache() -> None:
+    """Drop memoised canonical forms (tests / cache hygiene)."""
+    _SIMPLIFY_CACHE.clear()
+
+
 def simplify(expr: Expr) -> Expr:
     """Return a canonical form of ``expr``.
 
@@ -76,8 +105,14 @@ def simplify(expr: Expr) -> Expr:
     the same atoms simplify to structurally identical trees.  Division
     is only folded when the divisor is a constant.
     """
-    combo = _linearize(expr)
-    return _rebuild(combo)
+    cached = _SIMPLIFY_CACHE.get(id(expr))
+    if cached is not None:
+        return cached[1]
+    result = _rebuild(_linearize(expr))
+    if len(_SIMPLIFY_CACHE) >= _SIMPLIFY_CACHE_MAX:
+        _SIMPLIFY_CACHE.clear()
+    _SIMPLIFY_CACHE[id(expr)] = (expr, result)
+    return result
 
 
 def expand(expr: Expr) -> Expr:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.serialize import CachePayloadError
+from repro.compile import CompileOptions, CompiledVC
 from repro.ir import nodes as ir
 from repro.predicates.language import Postcondition
 from repro.predicates.restrictions import check_postcondition_restrictions
@@ -104,17 +105,66 @@ class _StrategyOutcome:
     error: Optional[str]
 
 
+class CounterexampleReplay:
+    """The counterexample-replay buffer of the CEGIS inner loop.
+
+    Every counterexample found for this synthesis problem — by the
+    random concrete checker or by the bounded verifier — accumulates
+    here, and each *new* candidate is replayed against the whole buffer
+    before any verifier tier runs.  With compilation enabled the replay
+    goes through the compiled VC clauses (the candidate's formulas are
+    translated once, the clause prefixes once per problem); the
+    fallback replays through the interpreted ``VCProblem.check``.
+    Either way the accept/reject decisions are identical.
+    """
+
+    def __init__(self, vc, compile_options: CompileOptions, compiled_vc=None):
+        self.states: List[State] = []
+        if compile_options.enabled and compile_options.replay_counterexamples:
+            # Reuse the verifier's compiled VC when it exists (it is built
+            # from the same problem), rather than compiling a second one.
+            if compiled_vc is None:
+                compiled_vc = CompiledVC(vc, compile_options)
+            self._check = compiled_vc.check
+        else:
+            self._check = vc.check
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def add(self, state: State) -> None:
+        self.states.append(state)
+
+    def rejects(self, candidate) -> bool:
+        """True when any buffered counterexample violates the candidate."""
+        check = self._check
+        for state in self.states:
+            if check(state, candidate) is not None:
+                return True
+        return False
+
+
 def _solve_problem(
     problem: SynthesisProblem,
     verifier: BoundedVerifier,
     max_candidates: int,
     quick_samples: int,
     seed: int,
+    compile_options: Optional[CompileOptions] = None,
 ) -> Optional[CEGISResult]:
     """Run CEGIS on one synthesis problem; None when the space is exhausted."""
     start = time.perf_counter()
     stats = CEGISStats()
-    examples: List[State] = []
+    compile_options = CompileOptions.coerce(compile_options)
+    examples = CounterexampleReplay(
+        problem.vc,
+        compile_options,
+        compiled_vc=(
+            verifier._compiled_vc
+            if verifier.vc is problem.vc and verifier.compile_options == compile_options
+            else None
+        ),
+    )
     rng = random.Random(seed)
 
     for candidate in problem.space.enumerate(limit=max_candidates):
@@ -124,19 +174,15 @@ def _solve_problem(
         if violations:
             continue
 
-        # Inductive step: the candidate must satisfy the VC on every example.
-        failed_on_example = False
-        for example in examples:
-            if problem.vc.check(example, candidate) is not None:
-                failed_on_example = True
-                break
-        if failed_on_example:
+        # Inductive step: the candidate must satisfy the VC on every
+        # accumulated counterexample (replayed via the compiled clauses).
+        if examples.rejects(candidate):
             continue
 
         # Cheap counterexample search (random concrete states, GF(7) floats).
         counterexample = verifier.quick_check(candidate, samples=quick_samples, rng=rng)
         if counterexample is not None:
-            examples.append(counterexample)
+            examples.add(counterexample)
             stats.counterexamples_found += 1
             stats.examples_used = len(examples)
             continue
@@ -162,7 +208,7 @@ def _solve_problem(
                 verification=verification,
             )
         if verification.counterexample is not None:
-            examples.append(verification.counterexample)
+            examples.add(verification.counterexample)
             stats.counterexamples_found += 1
             stats.examples_used = len(examples)
     return None
@@ -185,8 +231,15 @@ def synthesis_config(
     quick_samples: int,
     verifier_environments: int,
     strategies: Sequence[str],
+    compile_options: Optional[CompileOptions] = None,
 ) -> Dict[str, Any]:
-    """The options that determine a synthesis outcome, as a cache-key mapping."""
+    """The options that determine a synthesis outcome, as a cache-key mapping.
+
+    ``compile_options`` is part of the key even though both evaluation
+    backends must agree bit-for-bit: a stale entry recorded under a
+    buggy backend must never be replayed as if the other backend had
+    produced it.
+    """
     return {
         "trials": trials,
         "seed": seed,
@@ -194,15 +247,22 @@ def synthesis_config(
         "quick_samples": quick_samples,
         "verifier_environments": verifier_environments,
         "strategies": list(strategies),
+        "compile": CompileOptions.coerce(compile_options).config(),
     }
 
 
 def _prepare_problem_inputs(
-    kernel: ir.Kernel, trials: int, seed: int, verifier_environments: int
+    kernel: ir.Kernel,
+    trials: int,
+    seed: int,
+    verifier_environments: int,
+    compile_options: Optional[CompileOptions] = None,
 ):
     """Template generation and VC setup shared by every strategy."""
     try:
-        runs = run_inductive_executions(kernel, trials=trials, seed=seed)
+        runs = run_inductive_executions(
+            kernel, trials=trials, seed=seed, compile_options=compile_options
+        )
     except (SymbolicExecutionError, TypeError) as exc:
         # TypeError covers kernels whose store indices depend on array data
         # (they cannot be executed concrete-symbolically, hence not lifted).
@@ -212,7 +272,12 @@ def _prepare_problem_inputs(
     except TemplateGenerationError as exc:
         raise SynthesisFailure(f"template generation failed for {kernel.name}: {exc}") from exc
     vc = generate_vc(kernel)
-    verifier = BoundedVerifier(vc, num_environments=verifier_environments, seed=seed)
+    verifier = BoundedVerifier(
+        vc,
+        num_environments=verifier_environments,
+        seed=seed,
+        compile_options=compile_options,
+    )
     return base_templates, vc, verifier
 
 
@@ -225,6 +290,7 @@ def _attempt_strategy(
     max_candidates: int,
     quick_samples: int,
     seed: int,
+    compile_options: Optional[CompileOptions] = None,
 ) -> Tuple[bool, Optional[CEGISResult]]:
     """Run one strategy; returns (applicable, verified result or None)."""
     narrowed = strategy.apply(kernel, base_templates)
@@ -237,6 +303,7 @@ def _attempt_strategy(
         max_candidates=max_candidates,
         quick_samples=quick_samples,
         seed=_strategy_seed(seed, strategy.name),
+        compile_options=compile_options,
     )
     return True, result
 
@@ -249,6 +316,7 @@ def _strategy_worker(
     max_candidates: int,
     quick_samples: int,
     verifier_environments: int,
+    compile_options: Optional[CompileOptions] = None,
 ) -> Tuple[str, Any]:
     """Process-pool entry point: run one named strategy end to end.
 
@@ -263,12 +331,20 @@ def _strategy_worker(
         return "error", f"unknown strategy {strategy_name!r}"
     try:
         base_templates, vc, verifier = _prepare_problem_inputs(
-            kernel, trials, seed, verifier_environments
+            kernel, trials, seed, verifier_environments, compile_options
         )
     except SynthesisFailure as exc:
         return "prepare_failed", str(exc)
     applicable, result = _attempt_strategy(
-        kernel, strategy, base_templates, vc, verifier, max_candidates, quick_samples, seed
+        kernel,
+        strategy,
+        base_templates,
+        vc,
+        verifier,
+        max_candidates,
+        quick_samples,
+        seed,
+        compile_options=compile_options,
     )
     return "done", (applicable, result)
 
@@ -283,6 +359,7 @@ def _race_strategies(
     quick_samples: int,
     verifier_environments: int,
     timeout: Optional[float],
+    compile_options: Optional[CompileOptions] = None,
 ) -> CEGISResult:
     """Race every strategy on ``executor``; first-verified-in-priority-order wins.
 
@@ -306,6 +383,7 @@ def _race_strategies(
             max_candidates,
             quick_samples,
             verifier_environments,
+            compile_options,
         )
         for strategy in strategies
     ]
@@ -362,6 +440,7 @@ def synthesize_kernel_uncached(
     verifier_environments: int = 2,
     executor=None,
     timeout: Optional[float] = None,
+    compile_options: Optional[CompileOptions] = None,
 ) -> CEGISResult:
     """Lift one kernel without consulting any cache.
 
@@ -371,12 +450,16 @@ def synthesize_kernel_uncached(
     explicit ``strategies`` argument forces the sequential path).
     ``timeout`` bounds the total synthesis time — between strategies on
     the sequential path, and as a hard wait deadline when racing.
+    ``compile_options`` selects the evaluation backend (closure-compiled
+    by default, tree-walking interpreters when disabled); both backends
+    produce bit-identical results.
 
     Raises :class:`SynthesisFailure` when template generation cannot
     express the kernel or no candidate verifies under any strategy.
     """
     use_racing = executor is not None and strategies is None
     strategies = list(strategies) if strategies is not None else list(STRATEGIES)
+    compile_options = CompileOptions.coerce(compile_options)
     if use_racing:
         return _race_strategies(
             kernel,
@@ -388,11 +471,12 @@ def synthesize_kernel_uncached(
             quick_samples=quick_samples,
             verifier_environments=verifier_environments,
             timeout=timeout,
+            compile_options=compile_options,
         )
 
     start = time.monotonic()
     base_templates, vc, verifier = _prepare_problem_inputs(
-        kernel, trials, seed, verifier_environments
+        kernel, trials, seed, verifier_environments, compile_options
     )
     failures: List[str] = []
     for strategy in strategies:
@@ -407,6 +491,7 @@ def synthesize_kernel_uncached(
             max_candidates=max_candidates,
             quick_samples=quick_samples,
             seed=seed,
+            compile_options=compile_options,
         )
         if result is not None:
             return result
@@ -429,6 +514,7 @@ def synthesize_kernel(
     cache=None,
     executor=None,
     timeout: Optional[float] = None,
+    compile_options: Optional[CompileOptions] = None,
 ) -> CEGISResult:
     """Lift one kernel: template generation, CEGIS, verification.
 
@@ -437,11 +523,14 @@ def synthesize_kernel(
     synthesizing; a miss synthesizes and records the outcome.
     ``executor`` is an optional :mod:`concurrent.futures` executor used
     to race the strategies (see :func:`synthesize_kernel_uncached`).
+    ``compile_options`` selects the evaluation backend and is part of
+    the cache fingerprint.
 
     Raises :class:`SynthesisFailure` when template generation cannot
     express the kernel or no candidate verifies under any strategy.
     """
     strategy_list = list(strategies) if strategies is not None else list(STRATEGIES)
+    compile_options = CompileOptions.coerce(compile_options)
     # The cache keys strategies by *name*, which only identifies behaviour
     # for the built-in roster: a caller-supplied Strategy object with a
     # familiar name but a different transform must not hit (or poison)
@@ -461,6 +550,7 @@ def synthesize_kernel(
             quick_samples=quick_samples,
             verifier_environments=verifier_environments,
             strategies=[s.name for s in strategy_list],
+            compile_options=compile_options,
         )
         fingerprint = cache.fingerprint(kernel, config)
         hit = cache.get(fingerprint)
@@ -491,6 +581,7 @@ def synthesize_kernel(
             verifier_environments=verifier_environments,
             executor=executor,
             timeout=timeout,
+            compile_options=compile_options,
         )
     except SynthesisTimeout:
         # Wall-clock-dependent: never recorded as a definitive failure.

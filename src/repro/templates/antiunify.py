@@ -99,7 +99,11 @@ def _same_head(exprs: Sequence[Expr]) -> bool:
 
 def _generalize(exprs: Sequence[Expr], factory: _HoleFactory, in_index: bool) -> Expr:
     first = exprs[0]
-    if all(e == first for e in exprs):
+    # Hash-consed construction makes structurally equal observations the
+    # same object, so the all-equal column — the overwhelmingly common
+    # case — is an identity scan; the structural comparison remains as
+    # the fallback for numerically-equal-but-distinct constant nodes.
+    if all(e is first for e in exprs) or all(e == first for e in exprs):
         return first
     if _same_head(exprs):
         if isinstance(first, (Const, Sym)):

@@ -82,6 +82,11 @@ def make_concrete_state(
     return state
 
 
+# Snapshot cap for reachable-state collection; shared with the compiled
+# collector (:mod:`repro.compile`).
+REACHABLE_STATE_LIMIT = 512
+
+
 class _ReachableStateCollector:
     """Execute a kernel concretely, recording the state at every cut point.
 
@@ -92,7 +97,7 @@ class _ReachableStateCollector:
     candidate summary.
     """
 
-    def __init__(self, kernel: ir.Kernel, limit: int = 512):
+    def __init__(self, kernel: ir.Kernel, limit: int = REACHABLE_STATE_LIMIT):
         self.kernel = kernel
         self.limit = limit
         self.states: List[State] = []
@@ -130,7 +135,15 @@ class _ReachableStateCollector:
 
 
 class BoundedVerifier:
-    """The checking hierarchy: random concrete search plus bounded symbolic proof."""
+    """The checking hierarchy: random concrete search plus bounded symbolic proof.
+
+    ``compile_options`` selects the evaluation backend: when enabled
+    (the default) the kernel, the VC clauses and every candidate
+    formula are closure-compiled once (:mod:`repro.compile`) and the
+    checks run through the compiled forms; when disabled everything
+    goes through the original tree-walking interpreters.  Both
+    backends are bit-identical by construction.
+    """
 
     def __init__(
         self,
@@ -140,10 +153,19 @@ class BoundedVerifier:
         env_high: int = 4,
         max_counter_combos: int = 600,
         seed: int = 0,
+        compile_options=None,
     ):
+        from repro.compile import CompileOptions, CompiledCollector, CompiledVC
+
         self.vc = vc
         self.kernel = vc.kernel
         self.seed = seed
+        self.compile_options = CompileOptions.coerce(compile_options)
+        self._compiled_vc = None
+        self._compiled_collector = None
+        if self.compile_options.enabled:
+            self._compiled_vc = CompiledVC(vc, self.compile_options)
+            self._compiled_collector = CompiledCollector(self.kernel, self.compile_options)
         # Deep loop nests (5-D kernels, multi-level tiling) explode the number
         # of counter combinations; scale the sampling budget down so the
         # per-kernel verification cost stays roughly constant.
@@ -171,16 +193,19 @@ class BoundedVerifier:
     ) -> Optional[State]:
         """Search for a counterexample among reachable concrete states."""
         rng = rng or random.Random(self.seed + 17)
+        check = self._compiled_vc.check if self._compiled_vc is not None else self.vc.check
         for _ in range(samples):
             env = rng.choice(self.environments)
             initial = make_concrete_state(self.kernel, env, rng, field_values=True)
-            collector = _ReachableStateCollector(self.kernel)
             try:
-                states = collector.run(initial.copy())
+                if self._compiled_collector is not None:
+                    states = self._compiled_collector.collect(initial.copy())
+                else:
+                    states = _ReachableStateCollector(self.kernel).run(initial.copy())
             except (ExecutionError, EvalError, TypeError):
                 continue
             for state in states:
-                failed = self.vc.check(state, candidate)
+                failed = check(state, candidate)
                 if failed is not None:
                     return state
         return None
@@ -193,21 +218,38 @@ class BoundedVerifier:
         states_checked = 0
         non_vacuous = 0
         environments = self.environments if thorough else self.environments[:1]
+        clauses = (
+            self._compiled_vc.clauses if self._compiled_vc is not None else self.vc.clauses
+        )
         for env in environments:
             combos = list(self._counter_combinations(env))
             if len(combos) > self.max_counter_combos:
                 rng = random.Random(self.seed + 99)
                 combos = rng.sample(combos, self.max_counter_combos)
             for counters in combos:
-                for clause in self.vc.clauses:
-                    state = self._premise_state(clause, candidate, env, counters)
+                for clause in clauses:
+                    compiled = self._compiled_vc is not None
+                    source_clause = clause.clause if compiled else clause
+                    state = self._premise_state(source_clause, candidate, env, counters)
                     if state is None:
                         continue
                     states_checked += 1
                     try:
-                        if clause._premises_hold(state, candidate):
-                            non_vacuous += 1
-                        if not clause.holds(state, candidate):
+                        if compiled:
+                            # The compiled clause exposes the conclusion
+                            # separately, so the premises are evaluated
+                            # exactly once per state.
+                            premised = clause.premises_hold(state, candidate)
+                            if premised:
+                                non_vacuous += 1
+                            ok = (not premised) or clause.holds_after_premises(
+                                state, candidate
+                            )
+                        else:
+                            if clause._premises_hold(state, candidate):
+                                non_vacuous += 1
+                            ok = clause.holds(state, candidate)
+                        if not ok:
                             return VerificationResult(
                                 ok=False,
                                 failed_clause=clause.name,
@@ -289,7 +331,7 @@ class BoundedVerifier:
                 assert loop is not None
                 try:
                     counter = require_int(state.scalar(loop.counter))
-                    upper = require_int(eval_ir_expr(loop.upper, state))
+                    upper = require_int(self._eval_loop_upper(loop, state))
                 except (KeyError, EvalError, TypeError):
                     return None
                 in_range = counter <= upper
@@ -306,8 +348,19 @@ class BoundedVerifier:
                     return None
         return state
 
+    def _eval_loop_upper(self, loop: ir.Loop, state: State):
+        if self.compile_options.enabled:
+            from repro.compile import compile_ir_expr
+
+            return compile_ir_expr(loop.upper, self.compile_options)(state)
+        return eval_ir_expr(loop.upper, state)
+
     def _instantiate_invariant(self, invariant: Invariant, state: State) -> bool:
         """Mutate ``state`` so it satisfies ``invariant``; False when impossible."""
+        if self.compile_options.enabled:
+            from repro.compile import compile_invariant_instantiator
+
+            return compile_invariant_instantiator(invariant, self.compile_options)(state)
         from repro.semantics.evalexpr import compare_values
 
         for ineq in invariant.inequalities:
