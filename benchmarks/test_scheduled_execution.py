@@ -1,0 +1,86 @@
+"""E8 — Measured autotuning of the lowered loop nests.
+
+Lifts one CloverLeaf Table-1 kernel, lowers its generated Halide Func
+through the schedule-aware execution layer, and wall-clock autotunes it
+on the generated-Python (``compile()``) backend.  The tuned schedule
+must beat the *default* schedule (serial, untiled, scalar — what
+STNG's generated C++ starts from) by at least 2x measured wall-clock,
+and every measured schedule must pass the differential check against
+the schedule-blind reference executor (bit-identical buffers).
+
+Results land in the benchmark JSON artifact the CI workflow publishes
+(``--benchmark-json``), as ``extra_info`` on this test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune import MeasuredObjective, MultiArmedBanditTuner, ScheduleSpace
+from repro.backend.halidegen import postcondition_to_func
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.suites.registry import cases_for_suite
+from repro.synthesis import synthesize_kernel
+
+MEASURED_SPEEDUP_FLOOR = 2.0
+KERNEL_NAME = "ackl94"  # CloverLeaf, 2-D wide cross, plain (Table 1)
+GRID = 224
+TUNE_BUDGET = 24
+
+
+def _lift_stencil():
+    case = next(c for c in cases_for_suite("CloverLeaf") if c.name == KERNEL_NAME)
+    kernel = lower_candidate(
+        identify_candidates(parse_source(case.source)).candidates[0]
+    )
+    result = synthesize_kernel(kernel, seed=0, verifier_environments=1)
+    return case, postcondition_to_func(result.post)[0]
+
+
+def test_measured_autotune_beats_default_schedule(benchmark, capsys):
+    case, stencil = _lift_stencil()
+    func = stencil.func
+    rng = np.random.default_rng(42)
+    domain = [(0, GRID - 1)] * func.dimensions
+    inputs = {
+        image.name: rng.standard_normal((GRID,) * image.dimensions)
+        for image in func.inputs()
+    }
+    params = {param.name: 2.0 for param in func.params()}
+
+    objective = MeasuredObjective(
+        func, domain, inputs, params=params, backend="codegen", repeats=2
+    )
+    tuner = MultiArmedBanditTuner(ScheduleSpace(func.dimensions), objective, seed=7)
+
+    def tune():
+        return tuner.tune(budget=TUNE_BUDGET)
+
+    result = benchmark.pedantic(tune, rounds=1, iterations=1)
+    speedup = result.default_cost / max(result.best_cost, 1e-12)
+
+    benchmark.extra_info.update(
+        {
+            "kernel": f"{case.suite}/{case.name}",
+            "grid": GRID,
+            "backend": "codegen",
+            "evaluations": objective.evaluations,
+            "default_ms": round(result.default_cost * 1000.0, 3),
+            "tuned_ms": round(result.best_cost * 1000.0, 3),
+            "measured_speedup": round(speedup, 2),
+            "tuned_schedule": result.best_schedule.describe(),
+            "all_verified": objective.all_verified,
+        }
+    )
+    with capsys.disabled():
+        print(f"\n=== Measured autotuning ({case.suite}/{case.name}, {GRID}x{GRID}) ===")
+        print(f"default schedule : {result.default_cost * 1000.0:8.2f}ms")
+        print(f"tuned schedule   : {result.best_cost * 1000.0:8.2f}ms  "
+              f"[{result.best_schedule.describe()}]")
+        print(f"measured speedup : {speedup:8.2f}x  (floor {MEASURED_SPEEDUP_FLOOR}x)")
+        print(f"differentially verified: {objective.all_verified} "
+              f"({objective.evaluations} schedules)")
+
+    assert objective.all_verified, "every measured schedule must be bit-identical to the reference"
+    assert speedup >= MEASURED_SPEEDUP_FLOOR

@@ -4,8 +4,12 @@ Run with ``python examples/quickstart.py``.  The script parses the
 Fortran stencil of Figure 1(a), lifts it to the predicate-language
 summary of Figure 1(b)/(c), demonstrates the content-addressed
 synthesis cache with a warm rerun, prints the generated Halide C++ of
-Figure 1(d), and checks the generated pipeline against the original
-Fortran semantics on a random grid.
+Figure 1(d), checks the generated pipeline against the original
+Fortran semantics on a random grid, and finishes with *measured*
+autotuning: the generated stencil is lowered to a loop nest
+(tiling/vectorisation/parallel chunking as real loop structure),
+wall-clock tuned, and every tuned schedule differentially verified
+bit-identical against the schedule-blind reference.
 """
 
 from __future__ import annotations
@@ -113,6 +117,31 @@ def main() -> None:
     print(f"max |fortran - halide| over the output domain: {max_error:.2e}")
     assert max_error < 1e-12, "generated pipeline disagrees with the original kernel"
     print("generated Halide pipeline matches the original Fortran kernel.")
+
+    # 5. Measured autotuning: execute the schedule for real.  The
+    #    (Func, Schedule) pair is lowered to an explicit loop nest and
+    #    run through the generated-Python backend; the tuner's objective
+    #    is wall-clock time, and every measured schedule is checked
+    #    bit-identical against the schedule-blind reference.
+    from repro.autotune import MeasuredObjective, MultiArmedBanditTuner, ScheduleSpace
+    from repro.halide.lower import lower
+
+    func = stencils[0].func
+    n = 160
+    big = np.random.default_rng(7).standard_normal((n + 1, n + 1))
+    objective = MeasuredObjective(
+        func, domain=[(1, n), (0, n - 1)], inputs={"b": big}, backend="codegen"
+    )
+    tuner = MultiArmedBanditTuner(ScheduleSpace(func.dimensions), objective, seed=3)
+    tuned = tuner.tune(budget=16)
+    print(f"\n== measured autotuning ({n}x{n} grid, codegen backend) ==")
+    print(f"default schedule: {tuned.default_cost * 1000:7.2f}ms")
+    print(f"tuned schedule  : {tuned.best_cost * 1000:7.2f}ms  "
+          f"[{tuned.best_schedule.describe()}]")
+    print(f"measured speedup: {tuned.default_cost / tuned.best_cost:7.2f}x "
+          f"({objective.evaluations} schedules, all verified: {objective.all_verified})")
+    print("\n== tuned loop nest ==")
+    print(lower(func, tuned.best_schedule).pretty())
 
 
 if __name__ == "__main__":

@@ -3,24 +3,40 @@
 The generated Halide code is autotuned: an ensemble of search
 techniques, coordinated by a multi-armed bandit, explores the space of
 execution schedules and keeps the fastest one found within an
-evaluation budget.  Our objective function is the analytical runtime of
-:mod:`repro.perfmodel`, so tuning is deterministic and fast while still
-exercising the same search structure (techniques proposing candidates,
-the bandit reallocating trials toward whichever technique keeps
-winning).
+evaluation budget.  The tuner is objective-agnostic — anything
+satisfying the ``Objective`` protocol (``schedule -> cost``) works:
+
+* :func:`modeled_objective` — the analytical runtime of
+  :mod:`repro.perfmodel` (deterministic and fast; the pipeline's
+  Table 1 columns use this); and
+* :class:`MeasuredObjective` — *measured* wall-clock time of the
+  schedule's lowered loop nest (:mod:`repro.halide.lower`), with every
+  run differentially checked bit-identical against the schedule-blind
+  reference executor.  This mirrors the paper's actual setup, where
+  OpenTuner timed real Halide builds.
 """
 
+from repro.autotune.objectives import (
+    DifferentialCheckError,
+    Measurement,
+    MeasuredObjective,
+    modeled_objective,
+)
 from repro.autotune.space import ScheduleSpace
 from repro.autotune.techniques import GreedyMutation, PatternSearch, RandomSearch, Technique
 from repro.autotune.tuner import AutotuneResult, MultiArmedBanditTuner, autotune
 
 __all__ = [
     "AutotuneResult",
+    "DifferentialCheckError",
     "GreedyMutation",
+    "Measurement",
+    "MeasuredObjective",
     "MultiArmedBanditTuner",
     "PatternSearch",
     "RandomSearch",
     "ScheduleSpace",
     "Technique",
     "autotune",
+    "modeled_objective",
 ]

@@ -53,6 +53,16 @@ class ScheduleSpace:
         schedule.validate(self.dimensions)
         return schedule
 
+    def sample_schedules(self, count: int, seed: int = 0) -> List[Schedule]:
+        """A deterministic sample of ``count`` random schedules.
+
+        Used by the differential test-suites to sweep the space: every
+        sampled schedule must execute bit-identically to the
+        schedule-blind reference.
+        """
+        rng = random.Random(seed)
+        return [self.random_schedule(rng) for _ in range(count)]
+
     def default_schedule(self) -> Schedule:
         return Schedule.default()
 

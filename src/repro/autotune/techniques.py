@@ -85,6 +85,12 @@ class PatternSearch(Technique):
         for dim in range(space.dimensions):
             if best.parallel_dim != dim:
                 neighbours.append(best.with_parallel(dim))
+        order = list(best.dim_order or range(space.dimensions))
+        for a in range(len(order) - 1):
+            swapped = list(order)
+            swapped[a], swapped[a + 1] = swapped[a + 1], swapped[a]
+            if swapped != order:
+                neighbours.append(best.with_order(tuple(swapped)))
         return neighbours
 
 

@@ -1,12 +1,16 @@
 """The multi-armed-bandit autotuner (OpenTuner's coordination strategy).
 
 The tuner repeatedly asks one of its techniques for a candidate
-schedule, evaluates it with the supplied objective (the analytical
-runtime from :mod:`repro.perfmodel` in the pipeline; wall-clock time of
-the numpy executor in the examples), and rewards the technique when the
-candidate improves on the incumbent.  Technique selection is an
-epsilon-greedy bandit over the recent reward rates, which is the
-essence of OpenTuner's AUC-bandit meta-technique.
+schedule, evaluates it with the supplied objective, and rewards the
+technique when the candidate improves on the incumbent.  Technique
+selection is an epsilon-greedy bandit over the recent reward rates,
+which is the essence of OpenTuner's AUC-bandit meta-technique.
+
+The objective is just a callable ``schedule -> cost``; the tuner does
+not care whether the cost is the analytical runtime of
+:mod:`repro.perfmodel` (:func:`repro.autotune.modeled_objective`) or
+the measured wall-clock time of the schedule's lowered loop nest
+(:class:`repro.autotune.MeasuredObjective`).
 """
 
 from __future__ import annotations

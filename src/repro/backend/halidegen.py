@@ -12,7 +12,7 @@ so the glue code passes them at call time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.halide import lang
 from repro.halide.cppgen import emit_cpp
@@ -39,6 +39,32 @@ class GeneratedStencil:
     cpp_source: str
     scalar_params: Tuple[str, ...]
     input_arrays: Tuple[str, ...]
+
+    def concrete_domain(self, env: Mapping[str, int]) -> List[Tuple[int, int]]:
+        """Evaluate the symbolic domain bounds for concrete bound values.
+
+        ``env`` maps the kernel's bound symbols (``imin``, ``jmax``, ...)
+        to integers; the result is the inclusive per-dimension domain in
+        the form the executors (:func:`repro.halide.executor.realize`,
+        :func:`repro.halide.lower.realize_scheduled`) take.  Raises
+        :class:`HalideGenerationError` when a bound does not reduce to a
+        constant under ``env``.
+        """
+        from repro.symbolic.simplify import substitute
+
+        domain: List[Tuple[int, int]] = []
+        for dim, (lower, upper) in enumerate(self.domain_bounds):
+            concrete = []
+            for bound in (lower, upper):
+                folded = simplify(substitute(bound, dict(env)))
+                if not isinstance(folded, sx.Const):
+                    raise HalideGenerationError(
+                        f"domain bound {bound!r} of dimension {dim} does not "
+                        f"reduce to a constant under {sorted(env)}"
+                    )
+                concrete.append(int(folded.value))
+            domain.append((concrete[0], concrete[1]))
+        return domain
 
 
 def _translate_expr(

@@ -27,7 +27,10 @@ from repro.ir import nodes as ir
 # "stng-cache-2": the synthesis configuration grew a "compile" section
 # (CompileOptions of the closure-compiled evaluation path), so entries
 # recorded before the compile layer existed must not be replayed.
-CODE_VERSION = "stng-cache-2"
+# "stng-cache-3": interpreter MOD semantics changed from Python's
+# flooring ``%`` to Fortran truncation-toward-zero (trunc_mod), so
+# summaries verified under the old semantics must not be replayed.
+CODE_VERSION = "stng-cache-3"
 
 
 # ---------------------------------------------------------------------------

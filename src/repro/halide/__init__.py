@@ -9,21 +9,32 @@ package provides the pieces the pipeline needs:
 * :mod:`repro.halide.schedule` — schedule primitives (parallel, split/
   tile, vectorize, unroll, reorder, gpu_blocks) recorded on a
   :class:`~repro.halide.schedule.Schedule` object;
-* :mod:`repro.halide.executor` — a numpy reference executor used to
-  check generated pipelines against the original Fortran kernels;
+* :mod:`repro.halide.executor` — the schedule-blind numpy reference
+  executor used to check generated pipelines against the original
+  Fortran kernels;
+* :mod:`repro.halide.loopir` — the explicit loop-nest IR that schedules
+  lower to, plus the tiled-NumPy interpreter backend;
+* :mod:`repro.halide.lower` — the lowering pass and the generated-Python
+  ``compile()`` backend; :func:`~repro.halide.lower.realize_scheduled`
+  executes a (Func, Schedule) pair for real, bit-identical to the
+  reference;
 * :mod:`repro.halide.cppgen` — emission of the C++ Halide source text
   the paper's Figure 1(d) shows;
 * :mod:`repro.halide.gpu` — the GPU (K80-class) execution model used by
   the portability experiment.
 
-Performance numbers come from the analytical machine models in
-:mod:`repro.perfmodel`, parameterised by the schedule; the executor is
-for correctness, not timing.
+Performance numbers come from two places: the analytical machine models
+in :mod:`repro.perfmodel` (deterministic, used for the Table 1 columns)
+and wall-clock measurement of the lowered loop nests
+(:class:`repro.autotune.MeasuredObjective`), which the pipeline's
+``measure`` mode reports side by side with the model.
 """
 
 from repro.halide.lang import Expr, Func, HalideError, ImageParam, Param, Var
 from repro.halide.schedule import Schedule, ScheduleError
-from repro.halide.executor import realize
+from repro.halide.executor import OutOfBoundsError, realize
+from repro.halide.loopir import LoopNest, execute_loop_nest
+from repro.halide.lower import compile_loop_nest, lower, realize_scheduled
 from repro.halide.cppgen import emit_cpp
 
 __all__ = [
@@ -31,10 +42,16 @@ __all__ = [
     "Func",
     "HalideError",
     "ImageParam",
+    "LoopNest",
+    "OutOfBoundsError",
     "Param",
     "Schedule",
     "ScheduleError",
     "Var",
+    "compile_loop_nest",
     "emit_cpp",
+    "execute_loop_nest",
+    "lower",
     "realize",
+    "realize_scheduled",
 ]

@@ -170,6 +170,11 @@ class FuncRef(Expr):
     """A reference to another Func's value at an index (producer/consumer chains)."""
 
     def __init__(self, func: "Func", indices: Tuple[Expr, ...]):
+        if func.defined() and len(indices) != func.dimensions:
+            raise HalideError(
+                f"Func {func.name!r} has {func.dimensions} dimensions, "
+                f"got {len(indices)} indices"
+            )
         self.func = func
         self.indices = indices
 
@@ -219,6 +224,21 @@ class Func:
 
     def __call__(self, *indices) -> FuncRef:
         return self[tuple(indices)]
+
+    # -- scheduling ------------------------------------------------------------
+    def set_schedule(self, schedule) -> "Func":
+        """Attach an execution schedule, validated against the Func's rank."""
+        if self.definition is not None:
+            schedule.validate(self.dimensions)
+        self.schedule = schedule
+        return self
+
+    def compute_inline(self) -> "Func":
+        """Schedule this stage to be inlined into its consumers (Halide's
+        ``compute_inline``); only meaningful for producers in multi-stage
+        pipelines."""
+        self.schedule = self.schedule.with_inline()
+        return self
 
     # -- introspection ---------------------------------------------------------
     def defined(self) -> bool:

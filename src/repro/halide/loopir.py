@@ -1,0 +1,321 @@
+"""An explicit loop-nest IR for scheduled stencil execution.
+
+A :class:`LoopNest` is what a ``(Func, Schedule)`` pair *means*
+operationally: tiling, dimension reordering, unrolling and parallel
+chunking become actual nested :class:`Loop` nodes, and the vectorised
+innermost band becomes a :class:`ComputeSpan` leaf that evaluates one
+vector-width slab of output points at a time.  The lowering pass lives
+in :mod:`repro.halide.lower`; this module defines the IR nodes, their
+pretty printer, and the **tiled-NumPy interpreter backend** that walks
+the tree directly.  The second backend — generated Python compiled with
+``compile()`` in the style of :mod:`repro.compile` — also lives in
+:mod:`repro.halide.lower`.
+
+Both backends are bit-identical to the schedule-blind reference
+``repro.halide.executor.realize`` for every valid schedule: a schedule
+reorders *traversal*, never the arithmetic performed per output cell,
+so the buffers must match exactly (this is checked differentially by
+the measured autotuner and the property test-suite).
+
+Loop bounds are symbolic in the output domain (a nest is lowered once
+and executed over any domain): :class:`DomainLo`/:class:`DomainHi`
+name the inclusive domain bounds of an axis, :class:`LoopVar` names an
+enclosing loop's current value, and :class:`Shifted`/:class:`Clamped`
+build the ``min(tile_start + tile - 1, hi)`` bounds that tiling needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.halide.executor import Domain, realize_box
+from repro.halide.lang import Func, HalideError
+from repro.halide.schedule import Schedule
+
+
+# ---------------------------------------------------------------------------
+# Symbolic loop bounds
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DomainLo:
+    """Inclusive lower bound of one output-domain axis."""
+
+    axis: int
+
+
+@dataclass(frozen=True)
+class DomainHi:
+    """Inclusive upper bound of one output-domain axis."""
+
+    axis: int
+
+
+@dataclass(frozen=True)
+class LoopVar:
+    """The current value of an enclosing loop variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Shifted:
+    """``base + offset`` (offset is a compile-time constant)."""
+
+    base: "BoundExpr"
+    offset: int
+
+
+@dataclass(frozen=True)
+class Clamped:
+    """``min(left, right)`` — tile upper bounds clamp to the domain."""
+
+    left: "BoundExpr"
+    right: "BoundExpr"
+
+
+BoundExpr = Union[DomainLo, DomainHi, LoopVar, Shifted, Clamped]
+
+
+def eval_bound(bound: BoundExpr, lows: Sequence[int], highs: Sequence[int], env: Mapping[str, int]) -> int:
+    """Evaluate a symbolic bound for a concrete domain and loop environment."""
+    if isinstance(bound, DomainLo):
+        return lows[bound.axis]
+    if isinstance(bound, DomainHi):
+        return highs[bound.axis]
+    if isinstance(bound, LoopVar):
+        return env[bound.name]
+    if isinstance(bound, Shifted):
+        return eval_bound(bound.base, lows, highs, env) + bound.offset
+    if isinstance(bound, Clamped):
+        return min(
+            eval_bound(bound.left, lows, highs, env),
+            eval_bound(bound.right, lows, highs, env),
+        )
+    raise HalideError(f"unknown bound expression {bound!r}")
+
+
+def bound_source(bound: BoundExpr) -> str:
+    """Render a symbolic bound as a Python expression (codegen backend).
+
+    Domain bounds are the ``_lo{axis}``/``_hi{axis}`` locals of the
+    generated function; loop variables appear under their own names.
+    """
+    if isinstance(bound, DomainLo):
+        return f"_lo{bound.axis}"
+    if isinstance(bound, DomainHi):
+        return f"_hi{bound.axis}"
+    if isinstance(bound, LoopVar):
+        return bound.name
+    if isinstance(bound, Shifted):
+        if bound.offset == 0:
+            return bound_source(bound.base)
+        sign = "+" if bound.offset >= 0 else "-"
+        return f"({bound_source(bound.base)} {sign} {abs(bound.offset)})"
+    if isinstance(bound, Clamped):
+        return f"min({bound_source(bound.left)}, {bound_source(bound.right)})"
+    raise HalideError(f"unknown bound expression {bound!r}")
+
+
+def bound_pretty(bound: BoundExpr) -> str:
+    """Human-readable bound text for :meth:`LoopNest.pretty`."""
+    if isinstance(bound, DomainLo):
+        return f"lo{bound.axis}"
+    if isinstance(bound, DomainHi):
+        return f"hi{bound.axis}"
+    if isinstance(bound, LoopVar):
+        return bound.name
+    if isinstance(bound, Shifted):
+        sign = "+" if bound.offset >= 0 else "-"
+        return f"{bound_pretty(bound.base)} {sign} {abs(bound.offset)}"
+    if isinstance(bound, Clamped):
+        return f"min({bound_pretty(bound.left)}, {bound_pretty(bound.right)})"
+    raise HalideError(f"unknown bound expression {bound!r}")
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest nodes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ComputeSpan:
+    """The innermost band: compute ``unroll`` consecutive vector spans.
+
+    ``var`` holds the first span's start; span ``k`` covers output
+    coordinates ``[var + k*width, min(var + (k+1)*width - 1, upper)]``
+    along ``axis``.  ``width == 1`` is the scalar (default-schedule)
+    case.
+    """
+
+    axis: int
+    var: str
+    width: int
+    unroll: int
+    upper: BoundExpr
+
+
+@dataclass
+class Loop:
+    """One loop of the nest.
+
+    ``kind`` records what the schedule made of this loop: ``"serial"``
+    (plain), ``"tile"`` (a strip-mined tile loop stepping by the tile
+    size), ``"parallel"`` (its range is executed as ``chunks``
+    contiguous, step-aligned chunks — the structure a work-sharing
+    runtime would hand to worker threads), ``"vector"``/``"unrolled"``
+    (the innermost strip loop stepping by ``width * unroll``).
+    """
+
+    var: str
+    axis: int
+    lower: BoundExpr
+    upper: BoundExpr
+    step: int
+    kind: str
+    body: Union["Loop", ComputeSpan]
+    chunks: int = 1
+
+
+@dataclass
+class LoopNest:
+    """A fully lowered (Func, Schedule) pair: concrete nested loops."""
+
+    func: Func
+    schedule: Schedule
+    root: Union[Loop, ComputeSpan]
+    point_vars: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def dimensions(self) -> int:
+        return self.func.dimensions
+
+    def loops(self) -> List[Loop]:
+        """All loops, outermost first."""
+        result: List[Loop] = []
+        node = self.root
+        while isinstance(node, Loop):
+            result.append(node)
+            node = node.body
+        return result
+
+    def pretty(self) -> str:
+        """Render the nest as indented pseudo-loops (docs and debugging)."""
+        lines: List[str] = [f"nest {self.func.name} [{self.schedule.describe()}]"]
+        node: Union[Loop, ComputeSpan] = self.root
+        depth = 1
+        while isinstance(node, Loop):
+            step = f" step {node.step}" if node.step != 1 else ""
+            chunks = f" chunks={node.chunks}" if node.kind == "parallel" else ""
+            lines.append(
+                "  " * depth
+                + f"{node.kind} {node.var} = {bound_pretty(node.lower)} .. "
+                + f"{bound_pretty(node.upper)}{step}{chunks}"
+            )
+            depth += 1
+            node = node.body
+        lines.append(
+            "  " * depth
+            + f"compute {self.func.name}[...] span({node.var}, width={node.width}, "
+            + f"unroll={node.unroll})"
+        )
+        return "\n".join(lines)
+
+
+def chunk_ranges(lower: int, upper: int, step: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split an inclusive stepped range into contiguous, step-aligned chunks.
+
+    Alignment matters: chunk boundaries fall on multiples of ``step``
+    from ``lower`` so the strip/tile pattern of an enclosed loop is the
+    same as in the unchunked range, keeping execution order — and hence
+    results — identical to serial execution.
+    """
+    if upper < lower:
+        return []
+    iterations = (upper - lower) // step + 1
+    per_chunk = -(-iterations // max(1, chunks)) * step
+    ranges: List[Tuple[int, int]] = []
+    start = lower
+    while start <= upper:
+        end = min(start + per_chunk - step, upper)
+        ranges.append((start, end))
+        start = start + per_chunk
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# Tiled-NumPy interpreter backend
+# ---------------------------------------------------------------------------
+
+def execute_loop_nest(
+    nest: LoopNest,
+    domain: Domain,
+    inputs: Mapping[str, np.ndarray],
+    input_origins: Optional[Mapping[str, Tuple[int, ...]]] = None,
+    params: Optional[Mapping[str, float]] = None,
+    strict_bounds: bool = False,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Execute a lowered loop nest by walking the tree (interpreter backend).
+
+    Every :class:`ComputeSpan` evaluates one vector span as a numpy slab
+    through :func:`repro.halide.executor.realize_box` — the same
+    evaluation code the schedule-blind reference uses over the whole
+    domain — so results are bit-identical to ``realize`` by
+    construction.
+    """
+    func = nest.func
+    if len(domain) != func.dimensions:
+        raise HalideError(
+            f"domain rank {len(domain)} does not match Func rank {func.dimensions}"
+        )
+    input_origins = dict(input_origins or {})
+    params = dict(params or {})
+    lows = [lo for lo, _hi in domain]
+    highs = [hi for _lo, hi in domain]
+    shape = tuple(hi - lo + 1 for lo, hi in domain)
+    if out is None:
+        out = np.empty(shape, dtype=float)
+
+    env: Dict[str, int] = {}
+
+    def run(node: Union[Loop, ComputeSpan]) -> None:
+        if isinstance(node, ComputeSpan):
+            _compute_spans(node, env)
+            return
+        lower = eval_bound(node.lower, lows, highs, env)
+        upper = eval_bound(node.upper, lows, highs, env)
+        if node.kind == "parallel":
+            for chunk_lo, chunk_hi in chunk_ranges(lower, upper, node.step, node.chunks):
+                for value in range(chunk_lo, chunk_hi + 1, node.step):
+                    env[node.var] = value
+                    run(node.body)
+        else:
+            for value in range(lower, upper + 1, node.step):
+                env[node.var] = value
+                run(node.body)
+
+    def _compute_spans(span: ComputeSpan, env: Mapping[str, int]) -> None:
+        band_hi = eval_bound(span.upper, lows, highs, env)
+        for k in range(span.unroll):
+            start = env[span.var] + k * span.width
+            if start > band_hi:
+                break
+            end = min(start + span.width - 1, band_hi)
+            box: List[Tuple[int, int]] = []
+            index: List[object] = []
+            for axis in range(func.dimensions):
+                if axis == span.axis:
+                    box.append((start, end))
+                    index.append(slice(start - lows[axis], end - lows[axis] + 1))
+                else:
+                    coord = env[nest.point_vars[axis]]
+                    box.append((coord, coord))
+                    index.append(coord - lows[axis])
+            slab = realize_box(func, box, inputs, input_origins, params, strict_bounds)
+            out[tuple(index)] = slab.reshape(-1)
+
+    run(nest.root)
+    return out

@@ -47,6 +47,10 @@ class Schedule:
     gpu:
         When true the pipeline is offloaded to the GPU backend; block
         sizes come from ``gpu_block``.
+    inline:
+        For a producer stage in a multi-stage pipeline: substitute the
+        definition into every consumer instead of realizing the stage
+        into its own buffer (Halide's ``compute_inline``).
     """
 
     parallel_dim: Optional[int] = None
@@ -56,45 +60,75 @@ class Schedule:
     dim_order: Optional[Tuple[int, ...]] = None
     gpu: bool = False
     gpu_block: Tuple[int, int] = (16, 16)
+    inline: bool = False
+
+    def __post_init__(self) -> None:
+        """Reject internally-inconsistent schedules at construction time.
+
+        Rank-dependent checks (``tile_sizes``/``dim_order`` length versus
+        the Func's dimensionality) run in :meth:`validate`, which the
+        lowering pass calls before building a loop nest.
+        """
+        if self.vector_width not in _ALLOWED_VECTOR_WIDTHS:
+            raise ScheduleError(
+                f"vector width {self.vector_width} is not one of {_ALLOWED_VECTOR_WIDTHS}"
+            )
+        if not (1 <= self.unroll <= 16):
+            raise ScheduleError(f"unroll factor {self.unroll} must be between 1 and 16")
+        if any(size < 0 for size in self.tile_sizes):
+            raise ScheduleError(f"tile sizes must be non-negative, got {self.tile_sizes}")
+        if self.dim_order is not None and sorted(self.dim_order) != list(range(len(self.dim_order))):
+            raise ScheduleError(
+                f"dim_order {self.dim_order} is not a permutation of {len(self.dim_order)} dimensions"
+            )
+        if self.parallel_dim is not None and self.parallel_dim < 0:
+            raise ScheduleError(f"parallel dimension {self.parallel_dim} must be non-negative")
 
     # -- fluent construction -------------------------------------------------
     def with_parallel(self, dim: int) -> "Schedule":
         return replace(self, parallel_dim=dim)
 
     def with_tiles(self, sizes: Tuple[int, ...]) -> "Schedule":
-        if any(size < 0 for size in sizes):
-            raise ScheduleError("tile sizes must be non-negative")
         return replace(self, tile_sizes=tuple(sizes))
 
     def with_vectorize(self, width: int) -> "Schedule":
-        if width not in _ALLOWED_VECTOR_WIDTHS:
-            raise ScheduleError(f"vector width must be one of {_ALLOWED_VECTOR_WIDTHS}")
         return replace(self, vector_width=width)
 
     def with_unroll(self, factor: int) -> "Schedule":
-        if factor < 1 or factor > 16:
-            raise ScheduleError("unroll factor must be between 1 and 16")
         return replace(self, unroll=factor)
 
     def with_order(self, order: Tuple[int, ...]) -> "Schedule":
-        return replace(self, dim_order=order)
+        return replace(self, dim_order=tuple(order))
 
     def with_gpu(self, block: Tuple[int, int] = (16, 16)) -> "Schedule":
         return replace(self, gpu=True, gpu_block=block)
+
+    def with_inline(self) -> "Schedule":
+        return replace(self, inline=True)
 
     # -- validation / description ----------------------------------------------
     def validate(self, dimensions: int) -> None:
         """Raise :class:`ScheduleError` when the schedule does not fit the Func."""
         if self.parallel_dim is not None and not (0 <= self.parallel_dim < dimensions):
-            raise ScheduleError(f"parallel dimension {self.parallel_dim} out of range")
+            raise ScheduleError(
+                f"parallel dimension {self.parallel_dim} out of range for a "
+                f"{dimensions}-dimensional Func"
+            )
         if self.tile_sizes and len(self.tile_sizes) != dimensions:
-            raise ScheduleError("tile_sizes must name every dimension (0 = untiled)")
-        if self.dim_order is not None:
-            if sorted(self.dim_order) != list(range(dimensions)):
-                raise ScheduleError("dim_order must be a permutation of the dimensions")
+            raise ScheduleError(
+                f"tile_sizes has {len(self.tile_sizes)} entries but the Func has "
+                f"{dimensions} dimensions (use 0 for untiled dimensions)"
+            )
+        if self.dim_order is not None and sorted(self.dim_order) != list(range(dimensions)):
+            raise ScheduleError(
+                f"dim_order {self.dim_order} is not a permutation of the Func's "
+                f"{dimensions} dimensions"
+            )
 
     def describe(self) -> str:
         parts: List[str] = []
+        if self.inline:
+            parts.append("inline")
         if self.gpu:
             parts.append(f"gpu(block={self.gpu_block[0]}x{self.gpu_block[1]})")
         if self.parallel_dim is not None:

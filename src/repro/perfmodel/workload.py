@@ -60,6 +60,18 @@ def _default_points(dimensionality: int) -> int:
     return DEFAULT_POINTS_1D
 
 
+def domain_for_points(dimensionality: int, points: int):
+    """A near-cubic output domain of roughly ``points`` total points.
+
+    Used wherever a kernel characterised only by its point count must
+    actually be *executed* — measured autotuning and the differential
+    test-suites — to pick concrete inclusive per-dimension bounds.
+    """
+    dimensionality = max(1, dimensionality)
+    extent = max(2, round(max(1, points) ** (1.0 / dimensionality)))
+    return [(0, extent - 1) for _ in range(dimensionality)]
+
+
 def workload_from_kernel(
     kernel: ir.Kernel,
     points: Optional[int] = None,

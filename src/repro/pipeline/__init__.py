@@ -9,8 +9,21 @@ and per-suite reports it produces are what the benchmark harness prints
 as the reproduction of Tables 1 and 2.
 """
 
-from repro.pipeline.stng import KernelOutcome, KernelReport, PipelineOptions, STNGPipeline
-from repro.pipeline.report import SuiteSummary, format_table1_rows, report_signature, summarize_suite
+from repro.pipeline.stng import (
+    KernelOutcome,
+    KernelReport,
+    MeasuredPerformance,
+    PipelineOptions,
+    STNGPipeline,
+)
+from repro.pipeline.report import (
+    SuiteSummary,
+    format_measured_rows,
+    format_table1_rows,
+    measured_statistics,
+    report_signature,
+    summarize_suite,
+)
 from repro.pipeline.scheduler import (
     BatchJob,
     BatchResult,
@@ -25,12 +38,15 @@ __all__ = [
     "BatchScheduler",
     "KernelOutcome",
     "KernelReport",
+    "MeasuredPerformance",
     "PipelineOptions",
     "STNGPipeline",
     "SuiteSummary",
+    "format_measured_rows",
     "format_table1_rows",
     "jobs_from_cases",
     "lift_cases_sequential",
+    "measured_statistics",
     "report_signature",
     "summarize_suite",
 ]

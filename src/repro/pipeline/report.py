@@ -41,8 +41,9 @@ def summarize_suite(suite: str, reports: Sequence[KernelReport]) -> SuiteSummary
 def report_signature(report: KernelReport) -> str:
     """Canonical JSON encoding of everything deterministic in a report.
 
-    Wall-clock fields (``lift_seconds``, the lift's ``synthesis_time``)
-    are excluded; everything else — classification, the lifted summary,
+    Wall-clock fields (``lift_seconds``, the lift's ``synthesis_time``,
+    and the whole measured-autotuning block of the performance row) are
+    excluded; everything else — classification, the lifted summary,
     generated code, and the modelled performance row — is included, so
     two reports with equal signatures are byte-identical up to timing.
     Used to check that batch and sequential pipelines agree.
@@ -54,6 +55,10 @@ def report_signature(report: KernelReport) -> str:
     if report.lift is not None:
         lift_payload = result_to_payload(report.lift)
         lift_payload.pop("synthesis_time", None)
+    performance_payload = None
+    if report.performance is not None:
+        performance_payload = asdict(report.performance)
+        performance_payload.pop("measured", None)
     payload = {
         "name": report.name,
         "suite": report.suite,
@@ -64,7 +69,7 @@ def report_signature(report: KernelReport) -> str:
         "halide_cpp": list(report.halide_cpp),
         "serial_c": report.serial_c,
         "glue_code": report.glue_code,
-        "performance": asdict(report.performance) if report.performance is not None else None,
+        "performance": performance_payload,
         "failure_reason": report.failure_reason,
         "annotations_used": report.annotations_used,
     }
@@ -116,6 +121,74 @@ def format_table1_rows(reports: Iterable[KernelReport]) -> str:
     for row in rows:
         lines.append("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))
     return "\n".join(lines)
+
+
+MEASURED_HEADER = [
+    "Benchmark",
+    "Kernel",
+    "Modeled Speedup",
+    "Measured Speedup",
+    "Default (ms)",
+    "Tuned (ms)",
+    "Tuned Schedule",
+    "Backend",
+    "Verified",
+]
+
+
+def measured_row(report: KernelReport) -> Optional[List]:
+    """One measured-autotuning row, or None when measurement did not run."""
+    if report.performance is None or report.performance.measured is None:
+        return None
+    measured = report.performance.measured
+    return [
+        report.suite,
+        report.name,
+        round(report.performance.halide_speedup, 2),
+        round(measured.speedup, 2),
+        round(measured.default_seconds * 1000.0, 3),
+        round(measured.tuned_seconds * 1000.0, 3),
+        measured.tuned_schedule,
+        measured.backend,
+        measured.verified,
+    ]
+
+
+def format_measured_rows(reports: Iterable[KernelReport]) -> str:
+    """Render the measured-vs-modeled autotuning comparison as text."""
+    rows = [MEASURED_HEADER]
+    for report in reports:
+        row = measured_row(report)
+        if row is not None:
+            rows.append([str(value) for value in row])
+    widths = [max(len(str(row[col])) for row in rows) for col in range(len(MEASURED_HEADER))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def measured_statistics(reports: Sequence[KernelReport]) -> Dict[str, float]:
+    """Headline numbers for the measured runs: median/min/max wall-clock speedup."""
+    speedups = [
+        r.performance.measured.speedup
+        for r in reports
+        if r.performance is not None and r.performance.measured is not None
+    ]
+    verified = all(
+        r.performance.measured.verified
+        for r in reports
+        if r.performance is not None and r.performance.measured is not None
+    )
+    if not speedups:
+        return {"median": 0.0, "min": 0.0, "max": 0.0, "kernels": 0, "all_verified": False}
+    return {
+        "median": statistics.median(speedups),
+        "min": min(speedups),
+        "max": max(speedups),
+        "kernels": len(speedups),
+        "all_verified": verified,
+    }
 
 
 def headline_statistics(reports: Sequence[KernelReport]) -> Dict[str, float]:

@@ -49,6 +49,14 @@ class PipelineOptions:
     results).  A plain mapping is accepted too, because the batch
     scheduler round-trips options through ``dataclasses.asdict`` on
     their way to pool workers.
+
+    ``measure`` turns on *measured* autotuning alongside the analytic
+    model: each translated kernel's generated stencil is lowered to a
+    loop nest and wall-clock tuned on synthetic buffers of roughly
+    ``measure_points`` output points, with every tuned schedule
+    differentially checked bit-identical against the schedule-blind
+    reference executor.  Measured numbers are wall-clock and therefore
+    nondeterministic; they are excluded from report signatures.
     """
 
     seed: int = 0
@@ -58,14 +66,38 @@ class PipelineOptions:
     verifier_environments: int = 2
     synthesis_timeout: Optional[float] = None
     compile_options: CompileOptions = field(default_factory=CompileOptions)
+    measure: bool = False
+    measure_backend: str = "codegen"
+    measure_budget: int = 12
+    measure_points: int = 9216
+    measure_repeats: int = 1
 
     def __post_init__(self) -> None:
         self.compile_options = CompileOptions.coerce(self.compile_options)
 
 
 @dataclass
+class MeasuredPerformance:
+    """Measured (wall-clock) autotuning results for one generated stencil."""
+
+    default_seconds: float
+    tuned_seconds: float
+    speedup: float
+    tuned_schedule: str
+    backend: str
+    evaluations: int
+    verified: bool
+
+
+@dataclass
 class PerformanceRow:
-    """The Table 1 columns for one translated kernel."""
+    """The Table 1 columns for one translated kernel.
+
+    ``measured`` is only present when the pipeline runs with
+    ``PipelineOptions.measure``: the modeled speedups above come from
+    the roofline model, the measured block from actually executing the
+    lowered loop nests.
+    """
 
     halide_speedup: float
     icc_before_speedup: float
@@ -74,6 +106,7 @@ class PerformanceRow:
     gpu_speedup_no_transfer: float
     tuned_schedule: str
     baseline_seconds: float
+    measured: Optional[MeasuredPerformance] = None
 
 
 @dataclass
@@ -291,6 +324,10 @@ class STNGPipeline:
         gpu_time = HALIDE_GPU.runtime(clean, include_transfer=True)
         gpu_time_nt = HALIDE_GPU.runtime(clean, include_transfer=False)
 
+        measured = None
+        if self.options.measure:
+            measured = self._measure_performance(kernel, stencils[0])
+
         return PerformanceRow(
             halide_speedup=baseline / halide_time,
             icc_before_speedup=baseline / icc_before,
@@ -299,6 +336,63 @@ class STNGPipeline:
             gpu_speedup_no_transfer=baseline / gpu_time_nt,
             tuned_schedule=tuning.best_schedule.describe(),
             baseline_seconds=baseline,
+            measured=measured,
+        )
+
+    def _measure_performance(
+        self, kernel: Kernel, stencil: GeneratedStencil
+    ) -> MeasuredPerformance:
+        """Wall-clock autotune one generated stencil's lowered loop nest.
+
+        Synthetic inputs are deterministic per kernel (seeded from the
+        pipeline seed and the kernel name); every measured schedule is
+        differentially checked bit-identical against the schedule-blind
+        reference executor, so a lowering bug fails the lift instead of
+        producing a fast-but-wrong schedule.
+        """
+        import zlib
+
+        import numpy as np
+
+        from repro.autotune import MeasuredObjective, MultiArmedBanditTuner, ScheduleSpace
+        from repro.perfmodel.workload import domain_for_points
+
+        func = stencil.func
+        domain = domain_for_points(func.dimensions, self.options.measure_points)
+        extents = tuple(hi - lo + 1 for lo, hi in domain)
+        rng = np.random.default_rng(
+            (self.options.seed << 16) ^ zlib.crc32(kernel.name.encode())
+        )
+        inputs = {
+            image.name: rng.standard_normal(
+                tuple(
+                    extents[dim] if dim < len(extents) else 8
+                    for dim in range(image.dimensions)
+                )
+            )
+            for image in func.inputs()
+        }
+        params = {param.name: float(rng.integers(1, 4)) for param in func.params()}
+        objective = MeasuredObjective(
+            func,
+            domain,
+            inputs,
+            params=params,
+            backend=self.options.measure_backend,
+            repeats=self.options.measure_repeats,
+        )
+        tuner = MultiArmedBanditTuner(
+            ScheduleSpace(func.dimensions), objective, seed=self.options.seed
+        )
+        result = tuner.tune(budget=self.options.measure_budget)
+        return MeasuredPerformance(
+            default_seconds=result.default_cost,
+            tuned_seconds=result.best_cost,
+            speedup=result.default_cost / max(result.best_cost, 1e-12),
+            tuned_schedule=result.best_schedule.describe(),
+            backend=self.options.measure_backend,
+            evaluations=objective.evaluations,
+            verified=objective.all_verified,
         )
 
 

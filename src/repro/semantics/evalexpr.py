@@ -21,6 +21,7 @@ from fractions import Fraction
 from typing import Dict, Mapping, Optional
 
 from repro.ir import nodes as ir
+from repro.semantics import numeric
 from repro.semantics.numeric import EvalError, coerce_number, compare_values
 from repro.semantics.state import (
     State,
@@ -63,7 +64,10 @@ _CONCRETE_FUNCS = {
 _VARIADIC_FUNCS = {
     "min": min,
     "max": max,
-    "mod": lambda a, b: a % b,
+    # Fortran MOD truncates toward zero (remainder takes the sign of the
+    # dividend); Python's ``%`` floors.  The Halide executor routes its
+    # ``mod`` calls through the same helper so both agree on negatives.
+    "mod": numeric.trunc_mod,
     "pow": lambda a, b: a ** b,
     "sign": lambda a, b: abs(a) if b >= 0 else -abs(a),
     "dble": float,

@@ -134,6 +134,26 @@ class TestBackends:
         expected = b[0:-1, :] + b[1:, :]
         assert np.allclose(out, expected)
 
+    def test_concrete_domain_and_scheduled_execution(self, lifted_running_example):
+        from repro.halide import realize_scheduled
+
+        stencil = postcondition_to_func(lifted_running_example.post)[0]
+        env = {"imin": 0, "imax": 6, "jmin": 0, "jmax": 4}
+        domain = stencil.concrete_domain(env)
+        assert domain == [(1, 6), (0, 4)]
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((7, 5))
+        reference = realize(stencil.func, domain, {"b": b}, input_origins={"b": (0, 0)})
+        scheduled = realize_scheduled(
+            stencil.func,
+            domain,
+            {"b": b},
+            input_origins={"b": (0, 0)},
+            schedule=Schedule(tile_sizes=(4, 2), vector_width=2, parallel_dim=1),
+            strict_bounds=True,
+        )
+        assert np.array_equal(scheduled, reference)
+
     def test_five_dimensional_output_rejected(self):
         from repro.predicates import Bound, OutEq, Postcondition, QuantifiedConstraint
         from repro.symbolic import cell

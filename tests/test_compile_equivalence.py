@@ -345,7 +345,9 @@ class TestSynthesisEquivalence:
 
 class TestFingerprints:
     def test_code_version_bumped_for_compile_layer(self):
-        assert CODE_VERSION == "stng-cache-2"
+        # stng-cache-2 added the compile section; stng-cache-3 invalidated
+        # entries verified under flooring (pre-truncation) MOD semantics.
+        assert CODE_VERSION == "stng-cache-3"
 
     def test_config_contains_compile_options(self):
         config = synthesis_config(
