@@ -1,0 +1,58 @@
+"""Verification-level tracking: proved vs bounded-only across the suites.
+
+The Tier-3 inductive prover upgrades summaries from "verified on the
+sampled grid sizes" to "proved for all array sizes".  This benchmark
+prints the per-kernel levels and publishes the counts into the CI
+benchmark JSON artifact (``--benchmark-json`` → ``extra_info``) so the
+proved/bounded trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.pipeline.report import (
+    format_verification_rows,
+    verification_level_counts,
+)
+
+
+def _all_reports(lifted_reports):
+    return [report for reports in lifted_reports.values() for report in reports]
+
+
+def test_verification_levels(lifted_reports, benchmark, capsys):
+    reports = _all_reports(lifted_reports)
+
+    def collect():
+        return verification_level_counts(reports)
+
+    counts = benchmark.pedantic(collect, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Verification levels (Tier 3: unbounded inductive prover) ===")
+        print(format_verification_rows(reports))
+        print(
+            f"proved: {counts['proved']}  bounded-only: {counts['bounded']}  "
+            f"unlifted: {counts['unlifted']}"
+        )
+    # Published into the benchmark JSON artifact for cross-PR tracking.
+    benchmark.extra_info.update(
+        {
+            "proved": counts["proved"],
+            "bounded_only": counts["bounded"],
+            "unlifted": counts["unlifted"],
+        }
+    )
+    translated = [r for r in reports if r.lift is not None]
+    assert translated, "no kernels lifted"
+    # The headline claim of the verified-lifting tier: every translated
+    # kernel of the representative cross-section reaches a real proof.
+    # The full 93-kernel sweep (REPRO_FULL=1) tolerates a small tail of
+    # bounded-only stragglers (deep doubly-tiled nests exhaust the proof
+    # budget) — the artifact counts are what tracks that tail shrinking.
+    unproved = [r.name for r in translated if not r.lift.proved]
+    if os.environ.get("REPRO_FULL") == "1":
+        assert counts["proved"] >= int(0.85 * len(translated)), unproved
+    else:
+        assert not unproved, f"kernels stuck at bounded verification: {unproved}"
+        assert counts["proved"] == len(translated)

@@ -2,8 +2,11 @@
 
 Run with ``python examples/quickstart.py``.  The script parses the
 Fortran stencil of Figure 1(a), lifts it to the predicate-language
-summary of Figure 1(b)/(c), demonstrates the content-addressed
-synthesis cache with a warm rerun, prints the generated Halide C++ of
+summary of Figure 1(b)/(c) and *proves* it for all array sizes with the
+Tier-3 inductive prover (see docs/verification.md for the three-tier
+hierarchy and the proof-certificate format), demonstrates the
+content-addressed synthesis cache with a warm rerun (the stored proof
+certificate revalidates on replay), prints the generated Halide C++ of
 Figure 1(d), checks the generated pipeline against the original
 Fortran semantics on a random grid, and finishes with *measured*
 autotuning: the generated stencil is lowered to a loop nest
@@ -62,7 +65,7 @@ def main() -> None:
     cache_path = Path(tempfile.mkdtemp(prefix="stng-quickstart-")) / "cache.json"
     cache = SynthesisCache(cache_path)
     start = time.perf_counter()
-    result = synthesize_kernel(kernel, seed=1, cache=cache)
+    result = synthesize_kernel(kernel, seed=1, cache=cache, inductive=True)
     cold_seconds = time.perf_counter() - start
     print("\n== lifted summary (postcondition, cf. Figure 1b) ==")
     print(format_postcondition(result.post))
@@ -73,12 +76,25 @@ def main() -> None:
           f"control bits: {result.control_bits}, "
           f"postcondition AST nodes: {result.postcondition_ast_nodes}")
 
-    # 2b. Warm-cache rerun: the kernel's structural fingerprint hits the
-    #     store and the verified summary is replayed without synthesizing.
+    # 2b. The verification level: with ``inductive=True`` the summary is
+    #     not just checked on sampled grid sizes but *proved* for all of
+    #     them by the Tier-3 inductive prover; the proof certificate is
+    #     stored in the cache and revalidated on every replay.  See
+    #     docs/verification.md for the three-tier hierarchy.
+    proved = sum(1 for c in result.certificate.clauses if c.proved)
+    print(f"\n== verification level ==")
+    print(f"{result.verification_level} "
+          f"({proved}/{len(result.certificate.clauses)} VC clauses discharged "
+          f"for all array sizes)")
+
+    # 2c. Warm-cache rerun: the kernel's structural fingerprint hits the
+    #     store, the stored proof certificate revalidates, and the
+    #     verified summary is replayed without synthesizing.
     start = time.perf_counter()
-    replayed = synthesize_kernel(kernel, seed=1, cache=cache)
+    replayed = synthesize_kernel(kernel, seed=1, cache=cache, inductive=True)
     warm_seconds = time.perf_counter() - start
     assert replayed.post == result.post
+    assert replayed.verification_level == "proved"
     print(f"\n== warm-cache rerun ({cache_path}) ==")
     print(f"cold: {cold_seconds * 1000:.0f}ms, warm: {warm_seconds * 1000:.1f}ms "
           f"(hits={cache.hits}, misses={cache.misses})")

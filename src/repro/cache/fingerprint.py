@@ -30,7 +30,13 @@ from repro.ir import nodes as ir
 # "stng-cache-3": interpreter MOD semantics changed from Python's
 # flooring ``%`` to Fortran truncation-toward-zero (trunc_mod), so
 # summaries verified under the old semantics must not be replayed.
-CODE_VERSION = "stng-cache-3"
+# "stng-cache-4": the bounded verifier's loop-counter enumeration moved
+# to exact Fortran trip-count semantics (degenerate and strided ranges
+# enumerate different states), the verifier hierarchy gained the Tier-3
+# inductive prover with proof certificates in the payload, and strided
+# slab invariants can take the exact completed-region shape — entries
+# recorded before any of this must not be replayed.
+CODE_VERSION = "stng-cache-4"
 
 
 # ---------------------------------------------------------------------------

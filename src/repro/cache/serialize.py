@@ -194,9 +194,24 @@ def invariant_from_json(data: Dict[str, Any]) -> Invariant:
 # ---------------------------------------------------------------------------
 
 def result_to_payload(result) -> Dict[str, Any]:
-    """Encode a verified ``CEGISResult`` (minus the kernel) as JSON data."""
+    """Encode a verified ``CEGISResult`` (minus the kernel) as JSON data.
+
+    The Tier-3 fields (``proof_attempts``, ``certificate``) are only
+    present when the inductive prover participated, so payloads — and
+    therefore report signatures — produced with the prover disabled are
+    byte-identical to those of earlier releases.
+    """
     candidate = result.candidate
-    return {
+    stats_payload = {
+        "candidates_tried": result.stats.candidates_tried,
+        "examples_used": result.stats.examples_used,
+        "counterexamples_found": result.stats.counterexamples_found,
+        "verifier_calls": result.stats.verifier_calls,
+        "states_checked": result.stats.states_checked,
+    }
+    if result.stats.proof_attempts:
+        stats_payload["proof_attempts"] = result.stats.proof_attempts
+    payload = {
         "post": postcondition_to_json(candidate.post),
         "invariants": {
             loop_id: invariant_to_json(inv) for loop_id, inv in candidate.invariants.items()
@@ -207,19 +222,21 @@ def result_to_payload(result) -> Dict[str, Any]:
         "narrowed_bits": result.narrowed_bits,
         "postcondition_ast_nodes": result.postcondition_ast_nodes,
         "invariant_ast_nodes": result.invariant_ast_nodes,
-        "stats": {
-            "candidates_tried": result.stats.candidates_tried,
-            "examples_used": result.stats.examples_used,
-            "counterexamples_found": result.stats.counterexamples_found,
-            "verifier_calls": result.stats.verifier_calls,
-            "states_checked": result.stats.states_checked,
-        },
+        "stats": stats_payload,
         "verification": {
             "ok": result.verification.ok,
             "states_checked": result.verification.states_checked,
             "non_vacuous_checks": result.verification.non_vacuous_checks,
         },
     }
+    if candidate.strided_exact:
+        payload["strided_exact"] = True
+    certificate = getattr(result, "certificate", None)
+    if certificate is not None:
+        from repro.verification.inductive import certificate_to_json
+
+        payload["certificate"] = certificate_to_json(certificate)
+    return payload
 
 
 def result_from_payload(payload: Dict[str, Any], kernel: ir.Kernel):
@@ -236,6 +253,7 @@ def result_from_payload(payload: Dict[str, Any], kernel: ir.Kernel):
                 str(loop_id): invariant_from_json(inv)
                 for loop_id, inv in payload["invariants"].items()
             },
+            strided_exact=bool(payload.get("strided_exact", False)),
         )
         stats = CEGISStats(**{k: int(v) for k, v in payload["stats"].items()})
         verification = VerificationResult(
@@ -243,6 +261,11 @@ def result_from_payload(payload: Dict[str, Any], kernel: ir.Kernel):
             states_checked=int(payload["verification"]["states_checked"]),
             non_vacuous_checks=int(payload["verification"]["non_vacuous_checks"]),
         )
+        certificate = None
+        if payload.get("certificate") is not None:
+            from repro.verification.inductive import certificate_from_json
+
+            certificate = certificate_from_json(payload["certificate"])
         return CEGISResult(
             kernel=kernel,
             candidate=candidate,
@@ -254,6 +277,7 @@ def result_from_payload(payload: Dict[str, Any], kernel: ir.Kernel):
             invariant_ast_nodes=int(payload["invariant_ast_nodes"]),
             stats=stats,
             verification=verification,
+            certificate=certificate,
         )
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise CachePayloadError(f"malformed result payload: {exc}") from exc

@@ -16,7 +16,10 @@ Robustness rules:
   invalidation when templates/strategies change), while option changes
   invalidate implicitly because they change the fingerprint;
 * saves are atomic (temp file + ``os.replace``) so a crashed writer
-  never corrupts an existing store;
+  never corrupts an existing store, and they re-read and merge the
+  on-disk entries first so concurrent writers sharing one path cannot
+  clobber each other's entries (last-replace-wins applies only to
+  entries with the same fingerprint, which are interchangeable);
 * entries created since construction are exposed via
   :meth:`SynthesisCache.new_entries` so process-pool workers can ship
   them back to the parent, which merges and saves once — workers never
@@ -102,8 +105,8 @@ class SynthesisCache:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def _load(self) -> None:
-        """Load the backing file; any corruption degrades to an empty cache."""
+    def _read_disk_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Decode the backing file; corruption or version skew yields {}."""
         assert self.path is not None
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
@@ -112,44 +115,87 @@ class SynthesisCache:
                 raise ValueError("store root is not an object")
             if data.get("version") != self.code_version:
                 # Templates/strategies changed since this store was written.
-                self._entries = {}
-                return
+                return {}
             entries = data.get("entries", {})
             if not isinstance(entries, dict):
                 raise ValueError("store entries is not an object")
-            self._entries = {
+            return {
                 str(fp): entry
                 for fp, entry in entries.items()
                 if isinstance(entry, dict) and entry.get("status") in (_STATUS_VERIFIED, _STATUS_FAILURE)
             }
         except (OSError, ValueError) as _exc:  # ValueError covers JSONDecodeError
-            self._entries = {}
+            return {}
 
-    def save(self) -> None:
-        """Atomically persist every entry to the backing file."""
+    def _load(self) -> None:
+        """Load the backing file; any corruption degrades to an empty cache."""
+        self._entries = self._read_disk_entries()
+
+    def save(self, merge: bool = True) -> None:
+        """Atomically persist every entry to the backing file.
+
+        With ``merge`` (the default) the on-disk store is re-read first
+        and entries recorded there by *other* writers since our load are
+        kept: the save is a read-modify-write against the freshest disk
+        state, with our own entries winning any fingerprint collision.
+        Without this, two processes sharing a store path would each
+        rewrite the file from their private snapshot and the last
+        ``os.replace`` would silently drop the other's entries.  On
+        platforms with ``fcntl`` the read-merge-replace sequence runs
+        under an advisory lock so truly concurrent writers serialize;
+        elsewhere the merge alone still closes the common (non-racing)
+        interleavings.  ``merge=False`` writes exactly the in-memory
+        entries (used by :meth:`clear`, where resurrecting disk entries
+        would defeat the point).
+        """
         if self.path is None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = {"version": self.code_version, "entries": self._entries}
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=self.path.name + ".", suffix=".tmp", dir=str(self.path.parent)
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(data, handle, sort_keys=True, separators=(",", ":"))
-            os.replace(tmp_name, self.path)
-        except OSError:
+        lock_handle = None
+        if merge:
             try:
-                os.unlink(tmp_name)
+                import fcntl
+
+                lock_handle = open(str(self.path) + ".lock", "a+")
+                try:
+                    fcntl.flock(lock_handle, fcntl.LOCK_EX)
+                except OSError:
+                    # flock unsupported (e.g. some NFS mounts): fall back
+                    # to the unlocked merge, without leaking the handle.
+                    lock_handle.close()
+                    lock_handle = None
+            except (ImportError, OSError):
+                lock_handle = None
+        try:
+            if merge:
+                disk = self._read_disk_entries()
+                if disk:
+                    merged = dict(disk)
+                    merged.update(self._entries)
+                    self._entries = merged
+            data = {"version": self.code_version, "entries": self._entries}
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.path.name + ".", suffix=".tmp", dir=str(self.path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+                os.replace(tmp_name, self.path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        finally:
+            if lock_handle is not None:
+                lock_handle.close()
 
     def clear(self) -> None:
         self._entries = {}
         self._new = {}
         if self.autosave:
-            self.save()
+            self.save(merge=False)
 
     def __len__(self) -> int:
         return len(self._entries)

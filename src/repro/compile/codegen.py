@@ -555,6 +555,10 @@ def _emit_stmt(em: _Emitter, stmt: ir.Stmt, depth: int, fold, snapshot: bool) ->
         em.emit(f"{arr}.cells[({', '.join(index_vars)},)] = {value}", depth)
         return
     if isinstance(stmt, ir.Loop):
+        if stmt.step == 0:
+            message = em.const("loop step must be non-zero")
+            em.emit(f"raise ExecutionError({message})", depth)
+            return
         counter = em.const(stmt.counter)
         lower = _emit_ir_expr(em, stmt.lower, depth, fold)
         value = em.temp()
@@ -572,7 +576,8 @@ def _emit_stmt(em: _Emitter, stmt: ir.Stmt, depth: int, fold, snapshot: bool) ->
             _emit_require_int(em, bound, em.const("loop upper bound"), depth)
             iterations = em.temp()
             em.emit(f"{iterations} = 0", depth)
-        em.emit(f"while {value} <= {bound}:", depth)
+        loop_op = ">=" if stmt.step < 0 else "<="
+        em.emit(f"while {value} {loop_op} {bound}:", depth)
         em.emit(f"state.scalars[{counter}] = {value}", depth + 1)
         if snapshot:
             em.emit("snapshot(state)", depth + 1)

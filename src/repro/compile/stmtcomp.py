@@ -86,15 +86,22 @@ def _compile_stmt(stmt: ir.Stmt, options: CompileOptions) -> StmtFn:
     if isinstance(stmt, ir.Loop):
         counter = stmt.counter
         step = stmt.step
+        descending = step < 0
         lower_fn = compile_ir_expr(stmt.lower, options)
         upper_fn = compile_ir_expr(stmt.upper, options)
         body_fn = _compile_stmt(stmt.body, options)
         overflow = f"loop over {counter!r} exceeded {_MAX_ITERATIONS} iterations"
+        if step == 0:
+            def run_zero_step(state):
+                raise ExecutionError("loop step must be non-zero")
+
+            return run_zero_step
 
         def run_loop(
             state,
             _counter=counter,
             _step=step,
+            _descending=descending,
             _lower=lower_fn,
             _upper=upper_fn,
             _body=body_fn,
@@ -104,7 +111,7 @@ def _compile_stmt(stmt: ir.Stmt, options: CompileOptions) -> StmtFn:
             value = require_int(_lower(state), context="loop lower bound")
             upper = require_int(_upper(state), context="loop upper bound")
             iterations = 0
-            while value <= upper:
+            while value >= upper if _descending else value <= upper:
                 scalars[_counter] = value
                 _body(state)
                 value += _step
@@ -193,6 +200,12 @@ class CompiledRecordingExecutor:
         if isinstance(stmt, ir.Loop):
             counter = stmt.counter
             step = stmt.step
+            descending = step < 0
+            if step == 0:
+                def run_zero_step(state, record, budget):
+                    raise SymbolicExecutionError("loop step must be non-zero")
+
+                return run_zero_step
             loop_id = self._loop_ids[id(stmt)]
             lower_fn = compile_ir_expr(stmt.lower, options)
             upper_fn = compile_ir_expr(stmt.upper, options)
@@ -205,6 +218,7 @@ class CompiledRecordingExecutor:
                 budget,
                 _counter=counter,
                 _step=step,
+                _descending=descending,
                 _loop_id=loop_id,
                 _lower=lower_fn,
                 _upper=upper_fn,
@@ -213,7 +227,7 @@ class CompiledRecordingExecutor:
             ):
                 value = require_int(_lower(state), context="loop lower bound")
                 upper = require_int(_upper(state), context="loop upper bound")
-                while value <= upper:
+                while value >= upper if _descending else value <= upper:
                     state.scalars[_counter] = value
                     record(_loop_id, state)
                     _body(state, record, budget)
@@ -294,6 +308,12 @@ class CompiledCollector:
         if isinstance(stmt, ir.Loop):
             counter = stmt.counter
             step = stmt.step
+            descending = step < 0
+            if step == 0:
+                def run_zero_step(state, snapshot):
+                    raise ExecutionError("loop step must be non-zero")
+
+                return run_zero_step
             lower_fn = compile_ir_expr(stmt.lower, options)
             upper_fn = compile_ir_expr(stmt.upper, options)
             body_fn = self._compile_collect(stmt.body, options)
@@ -303,13 +323,14 @@ class CompiledCollector:
                 snapshot,
                 _counter=counter,
                 _step=step,
+                _descending=descending,
                 _lower=lower_fn,
                 _upper=upper_fn,
                 _body=body_fn,
             ):
                 value = require_int(_lower(state))
                 upper = require_int(_upper(state))
-                while value <= upper:
+                while value >= upper if _descending else value <= upper:
                     state.scalars[_counter] = value
                     snapshot(state)
                     _body(state, snapshot)

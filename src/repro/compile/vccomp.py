@@ -100,6 +100,13 @@ class CompiledClause:
                     )
                 )
         self._premises = tuple(premises)
+        # Alignment premises for strided_exact candidates: (counter name,
+        # compiled lower bound, step) for every live strided loop.
+        self._alignment = tuple(
+            (loop.counter, compile_ir_expr(loop.lower, options), loop.step)
+            for loop in clause.aligned_loops
+            if loop.step not in (1, -1)
+        )
         target = clause.target
         self._target_is_post = target.kind == "post"
         self._target_loop_id = target.loop_id or ""
@@ -108,6 +115,15 @@ class CompiledClause:
     def premises_hold(self, state: State, candidate: CandidateSummary) -> bool:
         """Compiled twin of ``VCClause._premises_hold``."""
         options = self._options
+        if candidate.strided_exact and self._alignment:
+            for counter_name, lower_fn, step in self._alignment:
+                try:
+                    value = require_int(state.scalar(counter_name))
+                    lower = require_int(lower_fn(state))
+                except (KeyError, EvalError, TypeError):
+                    return False
+                if (value - lower) % step != 0:
+                    return False
         for kind, loop_id, counter, upper_fn in self._premises:
             if kind == "pre":
                 for pre_fn in self._pre_conditions:

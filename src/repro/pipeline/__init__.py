@@ -20,9 +20,11 @@ from repro.pipeline.report import (
     SuiteSummary,
     format_measured_rows,
     format_table1_rows,
+    format_verification_rows,
     measured_statistics,
     report_signature,
     summarize_suite,
+    verification_level_counts,
 )
 from repro.pipeline.scheduler import (
     BatchJob,
@@ -44,9 +46,11 @@ __all__ = [
     "SuiteSummary",
     "format_measured_rows",
     "format_table1_rows",
+    "format_verification_rows",
     "jobs_from_cases",
     "lift_cases_sequential",
     "measured_statistics",
     "report_signature",
     "summarize_suite",
+    "verification_level_counts",
 ]

@@ -191,6 +191,63 @@ def measured_statistics(reports: Sequence[KernelReport]) -> Dict[str, float]:
     }
 
 
+VERIFICATION_HEADER = ["Benchmark", "Kernel", "Level", "Clauses Proved", "Strategy"]
+
+
+def verification_row(report: KernelReport) -> Optional[List]:
+    """One verification-level row, or None when the kernel was not lifted."""
+    if report.lift is None:
+        return None
+    certificate = report.lift.certificate
+    if certificate is None:
+        clauses = "-"
+    else:
+        proved = sum(1 for c in certificate.clauses if c.proved)
+        clauses = f"{proved}/{len(certificate.clauses)}"
+    return [
+        report.suite,
+        report.name,
+        report.lift.verification_level,
+        clauses,
+        report.lift.strategy,
+    ]
+
+
+def format_verification_rows(reports: Iterable[KernelReport]) -> str:
+    """Render the per-kernel verification levels as fixed-width text."""
+    rows = [VERIFICATION_HEADER]
+    for report in reports:
+        row = verification_row(report)
+        if row is not None:
+            rows.append([str(value) for value in row])
+    widths = [max(len(str(row[col])) for row in rows) for col in range(len(VERIFICATION_HEADER))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def verification_level_counts(reports: Sequence[KernelReport]) -> Dict[str, int]:
+    """Per-level kernel counts: how trustworthy are the lifted summaries.
+
+    ``proved`` counts summaries the inductive prover discharged for all
+    array sizes; ``bounded`` counts summaries that only survived the
+    bounded tiers (including every lift performed with the prover
+    disabled); ``unlifted`` counts reports with no summary at all.  The
+    benchmark harness publishes these counts into the CI benchmark JSON
+    artifact so the proved/bounded trajectory is tracked across PRs.
+    """
+    counts = {"proved": 0, "bounded": 0, "unlifted": 0}
+    for report in reports:
+        if report.lift is None:
+            counts["unlifted"] += 1
+        elif report.lift.proved:
+            counts["proved"] += 1
+        else:
+            counts["bounded"] += 1
+    return counts
+
+
 def headline_statistics(reports: Sequence[KernelReport]) -> Dict[str, float]:
     """The §6.3 headline numbers: median / min / max Halide speedup, median ifort."""
     speedups = [r.performance.halide_speedup for r in reports if r.performance is not None]

@@ -57,6 +57,16 @@ class PipelineOptions:
     differentially checked bit-identical against the schedule-blind
     reference executor.  Measured numbers are wall-clock and therefore
     nondeterministic; they are excluded from report signatures.
+
+    ``inductive`` (default on) adds Tier 3 of the verifier hierarchy —
+    the unbounded inductive prover of
+    :mod:`repro.verification.inductive` — behind the bounded check:
+    CEGIS prefers candidates whose summaries *prove* for all array
+    sizes (trying up to ``max_proof_attempts`` bounded-verified
+    candidates before falling back to the first one), and every lift
+    reports its verification level ("proved" versus "verified (bounded
+    N=k)").  Disabling it reproduces the prover-less pipeline
+    byte-identically.
     """
 
     seed: int = 0
@@ -66,6 +76,8 @@ class PipelineOptions:
     verifier_environments: int = 2
     synthesis_timeout: Optional[float] = None
     compile_options: CompileOptions = field(default_factory=CompileOptions)
+    inductive: bool = True
+    max_proof_attempts: int = 12
     measure: bool = False
     measure_backend: str = "codegen"
     measure_budget: int = 12
@@ -132,6 +144,13 @@ class KernelReport:
     def translated(self) -> bool:
         return self.outcome is KernelOutcome.TRANSLATED
 
+    @property
+    def verification_level(self) -> Optional[str]:
+        """"proved", "verified (bounded N=k)", or None when not lifted."""
+        if self.lift is None:
+            return None
+        return self.lift.verification_level
+
 
 class STNGPipeline:
     """Figure 3's toolchain: frontend, summary search, verification, codegen.
@@ -178,6 +197,8 @@ class STNGPipeline:
             executor=self.executor,
             timeout=self.options.synthesis_timeout,
             compile_options=self.options.compile_options,
+            inductive=self.options.inductive,
+            max_proof_attempts=self.options.max_proof_attempts,
         )
 
     # ------------------------------------------------------------------

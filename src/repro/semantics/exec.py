@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 
 from repro.ir import nodes as ir
 from repro.semantics.evalexpr import EvalError, eval_ir_condition, eval_ir_expr
+from repro.semantics.numeric import trunc_div
 from repro.semantics.state import State, require_int
 
 
@@ -32,6 +33,33 @@ class ExecutionError(Exception):
 # (:mod:`repro.compile`) import this so both evaluation modes always
 # share one budget.
 MAX_ITERATIONS = 1_000_000
+
+
+def loop_trip_count(lower: int, upper: int, step: int) -> int:
+    """Fortran DO trip count: ``MAX(INT((upper - lower + step) / step), 0)``.
+
+    ``INT`` truncates toward zero, hence :func:`trunc_div`.  Works for
+    any non-zero step, positive or negative; a zero step is an error
+    (Fortran leaves it undefined, we refuse to guess).
+    """
+    if step == 0:
+        raise ExecutionError("loop step must be non-zero")
+    return max(trunc_div(upper - lower + step, step), 0)
+
+
+def loop_counter_values(lower: int, upper: int, step: int) -> range:
+    """Every counter value a Fortran DO loop produces, plus the exit value.
+
+    The body sees ``lower, lower+step, ...`` for exactly
+    :func:`loop_trip_count` iterations; after the loop the counter holds
+    the first value that failed the iteration test.  This helper is the
+    *reference definition* of the trip semantics: the bounded verifier's
+    counter enumeration consumes it directly, while the interpreter and
+    the compiled backends keep their (performance-critical) explicit
+    loops and are pinned against it by ``tests/test_loop_semantics.py``.
+    """
+    trips = loop_trip_count(lower, upper, step)
+    return range(lower, lower + (trips + 1) * step, step)
 
 
 def execute_statement(stmt: ir.Stmt, state: State, max_iterations: int = MAX_ITERATIONS) -> State:
@@ -53,12 +81,15 @@ def execute_statement(stmt: ir.Stmt, state: State, max_iterations: int = MAX_ITE
     if isinstance(stmt, ir.Loop):
         lower = require_int(eval_ir_expr(stmt.lower, state), context="loop lower bound")
         upper = require_int(eval_ir_expr(stmt.upper, state), context="loop upper bound")
+        step = stmt.step
+        if step == 0:
+            raise ExecutionError("loop step must be non-zero")
         counter = lower
         iterations = 0
-        while counter <= upper:
+        while counter <= upper if step > 0 else counter >= upper:
             state.set_scalar(stmt.counter, counter)
             execute_statement(stmt.body, state, max_iterations)
-            counter += stmt.step
+            counter += step
             iterations += 1
             if iterations > max_iterations:
                 raise ExecutionError(

@@ -112,9 +112,11 @@ class _RecordingExecutor:
         if isinstance(stmt, ir.Loop):
             lower = require_int(eval_ir_expr(stmt.lower, state), context="loop lower bound")
             upper = require_int(eval_ir_expr(stmt.upper, state), context="loop upper bound")
+            if stmt.step == 0:
+                raise SymbolicExecutionError("loop step must be non-zero")
             counter = lower
             loop_id = self.loop_id(stmt)
-            while counter <= upper:
+            while counter <= upper if stmt.step > 0 else counter >= upper:
                 state.set_scalar(stmt.counter, counter)
                 self._record(loop_id, state)
                 self._execute(stmt.body, state)

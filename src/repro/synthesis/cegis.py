@@ -50,6 +50,13 @@ from repro.symbolic.interpreter import (
 from repro.templates.generator import TemplateGenerationError, TemplateSet, generate_templates
 from repro.vcgen.hoare import CandidateSummary, VCProblem, generate_vc
 from repro.verification.bounded import BoundedVerifier, VerificationResult
+from repro.verification.inductive import (
+    INDUCTIVE_PROVER_VERSION,
+    InductiveProver,
+    ProofCertificate,
+    make_certificate,
+    revalidate_certificate,
+)
 from repro.synthesis.space import SynthesisProblem, build_problem
 from repro.synthesis.strategies import STRATEGIES, Strategy
 
@@ -76,11 +83,17 @@ class CEGISStats:
     counterexamples_found: int = 0
     verifier_calls: int = 0
     states_checked: int = 0
+    proof_attempts: int = 0
 
 
 @dataclass
 class CEGISResult:
-    """A verified summary together with the metrics Table 1 reports."""
+    """A verified summary together with the metrics Table 1 reports.
+
+    ``certificate`` is present when the inductive prover (Tier 3)
+    participated: it records, clause by clause, whether the summary was
+    proved for **all** array sizes or only survived the bounded tiers.
+    """
 
     kernel: ir.Kernel
     candidate: CandidateSummary
@@ -92,10 +105,23 @@ class CEGISResult:
     invariant_ast_nodes: int
     stats: CEGISStats
     verification: VerificationResult
+    certificate: Optional[ProofCertificate] = None
 
     @property
     def post(self) -> Postcondition:
         return self.candidate.post
+
+    @property
+    def proved(self) -> bool:
+        """True when the summary is proved for every array size."""
+        return self.certificate is not None and self.certificate.proved
+
+    @property
+    def verification_level(self) -> str:
+        """Human-readable verification level for reports."""
+        if self.proved:
+            return "proved"
+        return f"verified (bounded N={self.verification.states_checked})"
 
 
 @dataclass
@@ -151,8 +177,22 @@ def _solve_problem(
     quick_samples: int,
     seed: int,
     compile_options: Optional[CompileOptions] = None,
+    prover: Optional[InductiveProver] = None,
+    max_proof_attempts: int = 12,
 ) -> Optional[CEGISResult]:
-    """Run CEGIS on one synthesis problem; None when the space is exhausted."""
+    """Run CEGIS on one synthesis problem; None when the space is exhausted.
+
+    With a ``prover`` (Tier 3) a bounded-verified candidate is
+    additionally submitted to the unbounded inductive prover.  A proved
+    candidate wins immediately; an unproved one is kept as a fallback
+    while the search continues — candidates whose truth depends on the
+    sampled grid sizes (vacuous bounds and the like) pass the bounded
+    tiers but never prove, and the next candidates in enumeration order
+    often do.  After ``max_proof_attempts`` unproved candidates the
+    first bounded-verified one is returned with a ``bounded_only``
+    certificate, so enabling the prover can upgrade but never lose a
+    translation.
+    """
     start = time.perf_counter()
     stats = CEGISStats()
     compile_options = CompileOptions.coerce(compile_options)
@@ -167,6 +207,25 @@ def _solve_problem(
     )
     rng = random.Random(seed)
 
+    def finish(candidate, verification, certificate=None) -> CEGISResult:
+        elapsed = time.perf_counter() - start
+        post_nodes = candidate.post.ast_size()
+        inv_nodes = sum(inv.ast_size() for inv in candidate.invariants.values())
+        return CEGISResult(
+            kernel=problem.kernel,
+            candidate=candidate,
+            strategy=problem.strategy_name,
+            synthesis_time=elapsed,
+            control_bits=problem.control_bits,
+            narrowed_bits=problem.grammar_space_bits,
+            postcondition_ast_nodes=post_nodes,
+            invariant_ast_nodes=inv_nodes,
+            stats=stats,
+            verification=verification,
+            certificate=certificate,
+        )
+
+    fallback: Optional[Tuple[CandidateSummary, VerificationResult, Any]] = None
     for candidate in problem.space.enumerate(limit=max_candidates):
         stats.candidates_tried += 1
 
@@ -187,30 +246,41 @@ def _solve_problem(
             stats.examples_used = len(examples)
             continue
 
+        # Once a bounded-verified fallback exists, candidates whose
+        # postcondition clauses *definitively* fail to prove are
+        # discarded before any bounded verification is spent on them:
+        # they could at best tie the fallback's verification level.
+        # Budget-exhausted post proofs are not definitive and keep the
+        # candidate in the running.
+        if prover is not None and fallback is not None:
+            if not prover.proves_postcondition(candidate):
+                continue
+
         # Full bounded-symbolic verification.
         stats.verifier_calls += 1
         verification = verifier.verify(candidate)
         stats.states_checked += verification.states_checked
         if verification.ok:
-            elapsed = time.perf_counter() - start
-            post_nodes = candidate.post.ast_size()
-            inv_nodes = sum(inv.ast_size() for inv in candidate.invariants.values())
-            return CEGISResult(
-                kernel=problem.kernel,
-                candidate=candidate,
-                strategy=problem.strategy_name,
-                synthesis_time=elapsed,
-                control_bits=problem.control_bits,
-                narrowed_bits=problem.grammar_space_bits,
-                postcondition_ast_nodes=post_nodes,
-                invariant_ast_nodes=inv_nodes,
-                stats=stats,
-                verification=verification,
-            )
+            if prover is None:
+                return finish(candidate, verification)
+            stats.proof_attempts += 1
+            outcome = prover.prove(candidate, fail_fast=True)
+            if outcome.proved:
+                certificate = make_certificate(problem.kernel, candidate, outcome)
+                return finish(candidate, verification, certificate)
+            if fallback is None:
+                fallback = (candidate, verification, outcome)
+            if stats.proof_attempts >= max_proof_attempts:
+                break
+            continue
         if verification.counterexample is not None:
             examples.add(verification.counterexample)
             stats.counterexamples_found += 1
             stats.examples_used = len(examples)
+    if fallback is not None:
+        candidate, verification, outcome = fallback
+        certificate = make_certificate(problem.kernel, candidate, outcome)
+        return finish(candidate, verification, certificate)
     return None
 
 
@@ -232,13 +302,17 @@ def synthesis_config(
     verifier_environments: int,
     strategies: Sequence[str],
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
+    max_proof_attempts: int = 12,
 ) -> Dict[str, Any]:
     """The options that determine a synthesis outcome, as a cache-key mapping.
 
     ``compile_options`` is part of the key even though both evaluation
     backends must agree bit-for-bit: a stale entry recorded under a
     buggy backend must never be replayed as if the other backend had
-    produced it.
+    produced it.  The inductive-prover configuration (including the
+    prover version) is part of the key because the prover steers which
+    candidate wins and emits the stored certificate.
     """
     return {
         "trials": trials,
@@ -248,6 +322,11 @@ def synthesis_config(
         "verifier_environments": verifier_environments,
         "strategies": list(strategies),
         "compile": CompileOptions.coerce(compile_options).config(),
+        "inductive": {
+            "enabled": bool(inductive),
+            "max_proof_attempts": int(max_proof_attempts),
+            "prover": INDUCTIVE_PROVER_VERSION if inductive else None,
+        },
     }
 
 
@@ -257,8 +336,9 @@ def _prepare_problem_inputs(
     seed: int,
     verifier_environments: int,
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
 ):
-    """Template generation and VC setup shared by every strategy."""
+    """Template generation, VC and verifier-tier setup shared by every strategy."""
     try:
         runs = run_inductive_executions(
             kernel, trials=trials, seed=seed, compile_options=compile_options
@@ -278,7 +358,8 @@ def _prepare_problem_inputs(
         seed=seed,
         compile_options=compile_options,
     )
-    return base_templates, vc, verifier
+    prover = InductiveProver(vc) if inductive else None
+    return base_templates, vc, verifier, prover
 
 
 def _attempt_strategy(
@@ -291,12 +372,20 @@ def _attempt_strategy(
     quick_samples: int,
     seed: int,
     compile_options: Optional[CompileOptions] = None,
+    prover: Optional[InductiveProver] = None,
+    max_proof_attempts: int = 12,
 ) -> Tuple[bool, Optional[CEGISResult]]:
     """Run one strategy; returns (applicable, verified result or None)."""
     narrowed = strategy.apply(kernel, base_templates)
     if narrowed is None:
         return False, None
-    problem = build_problem(kernel, narrowed, vc=vc, strategy_name=strategy.name)
+    problem = build_problem(
+        kernel,
+        narrowed,
+        vc=vc,
+        strategy_name=strategy.name,
+        strided_exact=prover is not None,
+    )
     result = _solve_problem(
         problem,
         verifier,
@@ -304,6 +393,8 @@ def _attempt_strategy(
         quick_samples=quick_samples,
         seed=_strategy_seed(seed, strategy.name),
         compile_options=compile_options,
+        prover=prover,
+        max_proof_attempts=max_proof_attempts,
     )
     return True, result
 
@@ -317,6 +408,8 @@ def _strategy_worker(
     quick_samples: int,
     verifier_environments: int,
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
+    max_proof_attempts: int = 12,
 ) -> Tuple[str, Any]:
     """Process-pool entry point: run one named strategy end to end.
 
@@ -330,8 +423,8 @@ def _strategy_worker(
     if strategy is None:
         return "error", f"unknown strategy {strategy_name!r}"
     try:
-        base_templates, vc, verifier = _prepare_problem_inputs(
-            kernel, trials, seed, verifier_environments, compile_options
+        base_templates, vc, verifier, prover = _prepare_problem_inputs(
+            kernel, trials, seed, verifier_environments, compile_options, inductive
         )
     except SynthesisFailure as exc:
         return "prepare_failed", str(exc)
@@ -345,6 +438,8 @@ def _strategy_worker(
         quick_samples,
         seed,
         compile_options=compile_options,
+        prover=prover,
+        max_proof_attempts=max_proof_attempts,
     )
     return "done", (applicable, result)
 
@@ -360,6 +455,8 @@ def _race_strategies(
     verifier_environments: int,
     timeout: Optional[float],
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
+    max_proof_attempts: int = 12,
 ) -> CEGISResult:
     """Race every strategy on ``executor``; first-verified-in-priority-order wins.
 
@@ -384,6 +481,8 @@ def _race_strategies(
             quick_samples,
             verifier_environments,
             compile_options,
+            inductive,
+            max_proof_attempts,
         )
         for strategy in strategies
     ]
@@ -441,6 +540,8 @@ def synthesize_kernel_uncached(
     executor=None,
     timeout: Optional[float] = None,
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
+    max_proof_attempts: int = 12,
 ) -> CEGISResult:
     """Lift one kernel without consulting any cache.
 
@@ -453,6 +554,13 @@ def synthesize_kernel_uncached(
     ``compile_options`` selects the evaluation backend (closure-compiled
     by default, tree-walking interpreters when disabled); both backends
     produce bit-identical results.
+
+    ``inductive`` enables the Tier-3 unbounded prover
+    (:mod:`repro.verification.inductive`): verified candidates are
+    additionally proved for all array sizes, the search prefers provable
+    candidates (up to ``max_proof_attempts`` extra verifications), and
+    the result carries a :class:`ProofCertificate`.  With it disabled
+    (the default) behaviour is byte-identical to earlier releases.
 
     Raises :class:`SynthesisFailure` when template generation cannot
     express the kernel or no candidate verifies under any strategy.
@@ -472,11 +580,13 @@ def synthesize_kernel_uncached(
             verifier_environments=verifier_environments,
             timeout=timeout,
             compile_options=compile_options,
+            inductive=inductive,
+            max_proof_attempts=max_proof_attempts,
         )
 
     start = time.monotonic()
-    base_templates, vc, verifier = _prepare_problem_inputs(
-        kernel, trials, seed, verifier_environments, compile_options
+    base_templates, vc, verifier, prover = _prepare_problem_inputs(
+        kernel, trials, seed, verifier_environments, compile_options, inductive
     )
     failures: List[str] = []
     for strategy in strategies:
@@ -492,6 +602,8 @@ def synthesize_kernel_uncached(
             quick_samples=quick_samples,
             seed=seed,
             compile_options=compile_options,
+            prover=prover,
+            max_proof_attempts=max_proof_attempts,
         )
         if result is not None:
             return result
@@ -515,6 +627,8 @@ def synthesize_kernel(
     executor=None,
     timeout: Optional[float] = None,
     compile_options: Optional[CompileOptions] = None,
+    inductive: bool = False,
+    max_proof_attempts: int = 12,
 ) -> CEGISResult:
     """Lift one kernel: template generation, CEGIS, verification.
 
@@ -524,7 +638,13 @@ def synthesize_kernel(
     ``executor`` is an optional :mod:`concurrent.futures` executor used
     to race the strategies (see :func:`synthesize_kernel_uncached`).
     ``compile_options`` selects the evaluation backend and is part of
-    the cache fingerprint.
+    the cache fingerprint, as are ``inductive``/``max_proof_attempts``.
+
+    When ``inductive`` is set, a cache hit carrying a proof certificate
+    is *revalidated*: the certificate's digests are checked against the
+    rehydrated candidate and the (fast, deterministic) prover is re-run,
+    so a stale or forged "proved" label degrades to a cold run instead
+    of being replayed.
 
     Raises :class:`SynthesisFailure` when template generation cannot
     express the kernel or no candidate verifies under any strategy.
@@ -551,6 +671,8 @@ def synthesize_kernel(
             verifier_environments=verifier_environments,
             strategies=[s.name for s in strategy_list],
             compile_options=compile_options,
+            inductive=inductive,
+            max_proof_attempts=max_proof_attempts,
         )
         fingerprint = cache.fingerprint(kernel, config)
         hit = cache.get(fingerprint)
@@ -565,8 +687,12 @@ def synthesize_kernel(
                 # cold run (and the fresh result overwrites the entry).
                 cache.misses += 1
             else:
-                cache.hits += 1
-                return result
+                if inductive and not _certificate_replay_ok(result, kernel):
+                    # Stale/invalid certificate: degrade to a cold run.
+                    cache.misses += 1
+                else:
+                    cache.hits += 1
+                    return result
         else:
             cache.misses += 1
 
@@ -582,6 +708,8 @@ def synthesize_kernel(
             executor=executor,
             timeout=timeout,
             compile_options=compile_options,
+            inductive=inductive,
+            max_proof_attempts=max_proof_attempts,
         )
     except SynthesisTimeout:
         # Wall-clock-dependent: never recorded as a definitive failure.
@@ -593,3 +721,22 @@ def synthesize_kernel(
     if cache is not None and fingerprint is not None:
         cache.record_result(fingerprint, result, kernel_name=kernel.name)
     return result
+
+
+def _certificate_replay_ok(result: CEGISResult, kernel: ir.Kernel) -> bool:
+    """Revalidate a replayed result's proof certificate.
+
+    An entry recorded under an inductive configuration always carries a
+    certificate; a missing one, a prover-version skew, or digests that
+    no longer match the rehydrated kernel/candidate all invalidate the
+    replay (it degrades to a cold run).  The digest check pins the
+    certificate to the exact summary being replayed; the full
+    deterministic re-proof is available via
+    :func:`repro.verification.inductive.revalidate_certificate` and is
+    exercised by the test suite rather than on every warm hit.
+    """
+    if result.certificate is None:
+        return False
+    return revalidate_certificate(
+        result.certificate, kernel, result.candidate, reprove=False
+    )

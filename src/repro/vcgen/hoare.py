@@ -40,10 +40,22 @@ from repro.semantics.state import State, require_int
 
 @dataclass
 class CandidateSummary:
-    """A candidate solution: one postcondition plus one invariant per loop."""
+    """A candidate solution: one postcondition plus one invariant per loop.
+
+    ``strided_exact`` records that the invariants were built with the
+    exact completed-region bounds for strided loops (see
+    :mod:`repro.synthesis.invariants`).  Such invariants are implicitly
+    strengthened with the counter-alignment conjunct ``(counter -
+    lower) mod step == 0`` for every live loop: the clause premises
+    enforce it (see :meth:`VCClause._premises_hold`), matching what the
+    inductive prover assumes.  For step-1 loops the conjunct is a
+    tautology, so candidates built without ``strided_exact`` — the
+    prover-off configuration — behave exactly as before.
+    """
 
     post: Postcondition
     invariants: Dict[str, Invariant] = field(default_factory=dict)
+    strided_exact: bool = False
 
     def invariant_for(self, loop_id: str) -> Invariant:
         if loop_id not in self.invariants:
@@ -89,7 +101,14 @@ class Assumption:
 
 @dataclass
 class VCClause:
-    """One implication of the verification condition."""
+    """One implication of the verification condition.
+
+    ``aligned_loops`` lists the loops *live* at the clause's program
+    point (the loops of its assumptions plus their ancestors); for
+    ``strided_exact`` candidates their counters are additionally
+    premised to be aligned (``(counter - lower) mod step == 0``), which
+    is the strengthened-invariant reading the inductive prover uses.
+    """
 
     name: str
     assumptions: Tuple[Assumption, ...]
@@ -97,6 +116,7 @@ class VCClause:
     prefix: Tuple[ir.Stmt, ...]
     target: ExitTarget
     kernel: ir.Kernel
+    aligned_loops: Tuple[ir.Loop, ...] = ()
 
     def describe(self) -> str:
         premises = " and ".join(a.describe() for a in self.assumptions) or "true"
@@ -125,6 +145,8 @@ class VCClause:
         return self._target_holds(work, candidate)
 
     def _premises_hold(self, state: State, candidate: CandidateSummary) -> bool:
+        if candidate.strided_exact and not self._counters_aligned(state):
+            return False
         for assumption in self.assumptions:
             if assumption.kind == "pre":
                 for pre in self.kernel.assumptions:
@@ -157,6 +179,28 @@ class VCClause:
                     return False
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown assumption kind {assumption.kind!r}")
+        return True
+
+    def _counters_aligned(self, state: State) -> bool:
+        """Alignment premise: every live strided counter sits on its grid.
+
+        Execution only ever gives a counter values ``lower + k*step``
+        (including the exit value), so this premise is true at every
+        state control actually reaches; it exists to discard the
+        *unreachable* misaligned states on which the exact strided
+        invariants are vacuously weak.  Step-1 loops are trivially
+        aligned, hence the check is a no-op for non-strided kernels.
+        """
+        for loop in self.aligned_loops:
+            if loop.step in (1, -1):
+                continue
+            try:
+                counter = require_int(state.scalar(loop.counter))
+                lower = require_int(eval_ir_expr(loop.lower, state))
+            except (KeyError, EvalError, TypeError):
+                return False
+            if (counter - lower) % loop.step != 0:
+                return False
         return True
 
     def _target_holds(self, state: State, candidate: CandidateSummary) -> bool:
@@ -254,6 +298,21 @@ class _VCBuilder:
         self._counter_counts[counter] = count + 1
         return counter if count == 0 else f"{counter}#{count}"
 
+    def _aligned_loops(self, assumptions: Tuple[Assumption, ...]) -> Tuple[ir.Loop, ...]:
+        """The clause's live loops (assumption loops plus ancestors)."""
+        by_id = {info.loop_id: info for info in self.loops}
+        aligned: List[ir.Loop] = []
+        for assumption in assumptions:
+            loop_id = assumption.loop_id
+            info = by_id.get(loop_id or "")
+            if info is None:
+                continue
+            for live_id in info.enclosing + (info.loop_id,):
+                loop = by_id[live_id].loop
+                if not any(existing is loop for existing in aligned):
+                    aligned.append(loop)
+        return tuple(aligned)
+
     def _process_block(
         self,
         statements: Sequence[ir.Stmt],
@@ -278,6 +337,7 @@ class _VCBuilder:
                     prefix=tuple(prefix),
                     target=target,
                     kernel=self.kernel,
+                    aligned_loops=self._aligned_loops(entry),
                 )
             )
             return
@@ -300,6 +360,7 @@ class _VCBuilder:
                 prefix=tuple(prefix),
                 target=ExitTarget("inv", loop_id),
                 kernel=self.kernel,
+                aligned_loops=self._aligned_loops(entry),
             )
         )
 

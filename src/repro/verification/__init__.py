@@ -11,14 +11,19 @@ paper.  It provides a hierarchy of checking procedures mirroring §3.1:
   enumerate all loop-counter combinations, construct for each clause
   the most general symbolic state satisfying its premises (arrays left
   as fresh symbols wherever the premises do not pin them) and check the
-  conclusion symbolically over the reals.
+  conclusion symbolically over the reals;
+* **unbounded inductive proof** (Tier 3, :mod:`repro.verification.inductive`)
+  — discharge the VC clauses symbolically over the integers with no
+  concrete grid sizes at all, so a ``Proved`` verdict holds for every
+  array size.  Summaries the prover cannot establish stay at the
+  bounded level and are reported as such.
 
 Because the quantifiers of the predicate language only range over array
 indices, fixing the integer inputs makes the quantifier domain finite;
 the bounded symbolic check is therefore exact for each grid size it
-explores, and "bounded" only in which grid sizes are explored — the
-analogue of Z3's quantifier instantiation being effective on these
-formulas.
+explores, and "bounded" only in which grid sizes are explored.  The
+inductive tier removes that last restriction for the summaries it can
+prove.
 """
 
 from repro.verification.bounded import (
@@ -26,9 +31,21 @@ from repro.verification.bounded import (
     VerificationResult,
     make_concrete_state,
 )
+from repro.verification.inductive import (
+    InductiveOutcome,
+    InductiveProver,
+    ProofCertificate,
+    Verdict,
+    verify_with_proof,
+)
 
 __all__ = [
     "BoundedVerifier",
     "VerificationResult",
     "make_concrete_state",
+    "InductiveOutcome",
+    "InductiveProver",
+    "ProofCertificate",
+    "Verdict",
+    "verify_with_proof",
 ]

@@ -16,7 +16,7 @@ from repro.predicates.evaluate import (
 )
 from repro.predicates.language import Invariant
 from repro.semantics.evalexpr import EvalError, eval_ir_expr, eval_sym_expr
-from repro.semantics.exec import ExecutionError
+from repro.semantics.exec import ExecutionError, loop_counter_values
 from repro.semantics.state import ArrayValue, State, fresh_symbolic_array, require_int
 from repro.symbolic.expr import Expr, sym
 from repro.symbolic.interpreter import (
@@ -122,12 +122,15 @@ class _ReachableStateCollector:
         if isinstance(stmt, ir.Loop):
             lower = require_int(eval_ir_expr(stmt.lower, state))
             upper = require_int(eval_ir_expr(stmt.upper, state))
+            step = stmt.step
+            if step == 0:
+                raise ExecutionError("loop step must be non-zero")
             counter = lower
-            while counter <= upper:
+            while counter <= upper if step > 0 else counter >= upper:
                 state.set_scalar(stmt.counter, counter)
                 self._snapshot(state)
                 self._execute(stmt.body, state)
-                counter += stmt.step
+                counter += step
             state.set_scalar(stmt.counter, counter)
             self._snapshot(state)
             return
@@ -291,7 +294,14 @@ class BoundedVerifier:
                 # Bounds depend on a counter we have not fixed (or on missing
                 # data); fall back to a small window around zero.
                 lower, upper = 0, 2
-            values = range(lower, upper + loop.step + 1, loop.step)
+            # Exact Fortran trip semantics: every value the body sees plus
+            # the exit value.  The previous ``range(lower, upper + step + 1,
+            # step)`` enumeration agreed with this for non-degenerate
+            # positive-step loops, but dropped the exit state entirely for
+            # loops whose range is empty by more than one step (``upper <
+            # lower - step``) and walked the wrong direction for negative
+            # steps.
+            values = loop_counter_values(lower, upper, loop.step)
             for value in values:
                 current[loop.counter] = value
                 yield from rec(index + 1, current)

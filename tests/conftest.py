@@ -1,0 +1,7 @@
+"""Shared test configuration."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running proof/synthesis tests (seconds, not ms)"
+    )

@@ -346,8 +346,10 @@ class TestSynthesisEquivalence:
 class TestFingerprints:
     def test_code_version_bumped_for_compile_layer(self):
         # stng-cache-2 added the compile section; stng-cache-3 invalidated
-        # entries verified under flooring (pre-truncation) MOD semantics.
-        assert CODE_VERSION == "stng-cache-3"
+        # entries verified under flooring (pre-truncation) MOD semantics;
+        # stng-cache-4 invalidated entries recorded before the exact
+        # trip-count enumeration and the Tier-3 inductive prover.
+        assert CODE_VERSION == "stng-cache-4"
 
     def test_config_contains_compile_options(self):
         config = synthesis_config(
