@@ -1,0 +1,109 @@
+"""Whole-application translation benchmark (the headline experiment).
+
+Translates the bundled CloverLeaf-style mini-app end to end — scan,
+lift every kernel through the synthesis cache, substitute, execute —
+and publishes translated-vs-original wall clock, kernels lifted/total
+and the verification-level histogram into the CI benchmark JSON
+artifact (``--benchmark-json`` → ``extra_info``), plus a standalone
+``application-translation.json`` uploaded alongside the other
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.application import differential_check, translate_application
+from repro.cache.store import SynthesisCache
+from repro.pipeline.report import verification_level_counts
+from repro.pipeline.stng import PipelineOptions
+from repro.suites.apps import cloverleaf_mini_app
+
+# Timing grids: the bundled differential grids plus one larger grid so
+# the interpreter-vs-translated gap is measured on a non-trivial size.
+TIMING_GRIDS = (8, 13, 21, 48)
+
+
+def test_whole_application_translation(benchmark, capsys):
+    app = cloverleaf_mini_app()
+    cache = SynthesisCache(None)
+    # ``measure``: each substituted kernel runs under its wall-clock
+    # autotuned schedule rather than the default one.
+    options = PipelineOptions(
+        verifier_environments=1,
+        measure=True,
+        measure_budget=6,
+        measure_points=4096,
+    )
+
+    def translate_and_run():
+        bundle = translate_application(app, options, cache=cache)
+        report = differential_check(bundle, grids=TIMING_GRIDS)
+        return bundle, report
+
+    bundle, report = benchmark.pedantic(translate_and_run, rounds=1, iterations=1)
+
+    # Acceptance: every liftable kernel substituted, fallbacks interpreted,
+    # original and translated programs bitwise identical on every grid.
+    assert len(bundle.translated) == app.expected_liftable
+    assert len(bundle.fallbacks) == app.expected_fallback
+    assert report.all_identical, [run.mismatched_arrays for run in report.runs]
+
+    # Warm-cache re-run of the whole application performs no synthesis.
+    warm = translate_application(app, options, cache=cache)
+    assert warm.cache_misses == 0
+    assert warm.cache_hits == app.expected_liftable
+
+    levels = verification_level_counts([tk.report for tk in bundle.translated])
+    biggest = report.runs[-1]
+    payload = {
+        "application": app.name,
+        "kernels_total": bundle.sites_total,
+        "kernels_lifted": len(bundle.translated),
+        "kernels_fallback": len(bundle.fallbacks),
+        "verification_levels": levels,
+        "translate_seconds": bundle.translate_seconds,
+        "warm_cache_misses": warm.cache_misses,
+        "differential": report.as_json(),
+        "largest_grid": {
+            "grid": biggest.grid,
+            "original_seconds": biggest.original_seconds,
+            "translated_seconds": biggest.translated_seconds,
+            "speedup": biggest.speedup,
+        },
+    }
+    benchmark.extra_info.update(
+        {
+            "kernels_lifted": payload["kernels_lifted"],
+            "kernels_total": payload["kernels_total"],
+            "proved": levels["proved"],
+            "bounded_only": levels["bounded"],
+            "original_seconds": biggest.original_seconds,
+            "translated_seconds": biggest.translated_seconds,
+            "translated_speedup": biggest.speedup,
+        }
+    )
+    # Standalone artifact for the CI upload step.
+    Path("application-translation.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    with capsys.disabled():
+        print("\n=== Whole-application translation (cloverleaf_mini) ===")
+        print(
+            f"kernels: {payload['kernels_lifted']}/{payload['kernels_total']} lifted "
+            f"({payload['kernels_fallback']} fallback)  levels: {levels}"
+        )
+        for run in report.runs:
+            status = "bit-identical" if run.identical else "MISMATCH"
+            print(
+                f"grid {run.grid:3d}: {status}  interpreter {run.original_seconds:7.3f}s  "
+                f"translated {run.translated_seconds:7.3f}s  ({run.speedup:5.1f}x)"
+            )
+        print(f"translate (cold, incl. synthesis): {bundle.translate_seconds:.2f}s; "
+              f"warm re-run: {warm.cache_hits} cache hits, 0 misses")
+
+    # The translated program must beat the scalar interpreter on the
+    # largest grid — the point of substituting compiled loop nests.
+    assert biggest.translated_seconds < biggest.original_seconds

@@ -13,6 +13,11 @@ autotuning: the generated stencil is lowered to a loop nest
 (tiling/vectorisation/parallel chunking as real loop structure),
 wall-clock tuned, and every tuned schedule differentially verified
 bit-identical against the schedule-blind reference.
+
+This is the single-kernel story; for translating *whole applications*
+(scan every procedure, lift every kernel, substitute, differentially
+execute) see docs/application_translation.md and
+``examples/lift_cloverleaf.py``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,249 @@
+"""Whole-application translation: lift every site, bundle the artifacts.
+
+``translate_application`` runs the full STNG story over a
+multi-procedure program: scan every procedure for candidate loop nests,
+lift all candidates — in parallel through the batch scheduler when a
+pool is requested, always through the content-addressed synthesis cache
+when one is supplied — and package the result as an
+:class:`ApplicationBundle`: per-kernel Halide C++ (from ``cppgen``
+via the backend), Fortran glue (from ``gluegen``), and a manifest
+recording spans, outcomes and verification levels.  The bundle is what
+the differential executor (:mod:`repro.application.execute`) runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.application.scan import ApplicationScan, LoopSite, scan_application
+from repro.backend.gluegen import bound_to_fortran
+from repro.frontend.ast import Program
+from repro.frontend.parser import parse_source
+from repro.halide.schedule import Schedule
+from repro.pipeline.report import verification_level_counts
+from repro.pipeline.scheduler import BatchScheduler, KernelJob
+from repro.pipeline.stng import KernelReport, PipelineOptions, STNGPipeline
+from repro.suites.apps import MiniApp
+
+
+@dataclass
+class TranslatedKernel:
+    """One substituted loop site: the site, its lift, and how to run it."""
+
+    site: LoopSite
+    report: KernelReport
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+    @property
+    def stencils(self):
+        return self.report.stencils
+
+    @property
+    def verification_level(self) -> Optional[str]:
+        return self.report.verification_level
+
+    @property
+    def schedule(self) -> Optional[Schedule]:
+        """The measured-autotuned schedule, when the pipeline ran in
+        ``measure`` mode; ``None`` realizes under the default schedule."""
+        performance = self.report.performance
+        if performance is not None and performance.measured is not None:
+            return performance.measured.schedule
+        return None
+
+
+@dataclass
+class FallbackSite:
+    """A loop site the translated program interprets instead of substituting."""
+
+    site: LoopSite
+    reason: str
+
+
+@dataclass
+class ApplicationBundle:
+    """Everything the translated application consists of."""
+
+    name: str
+    driver: str
+    source: str
+    program: Program
+    scan: ApplicationScan
+    translated: List[TranslatedKernel] = field(default_factory=list)
+    fallbacks: List[FallbackSite] = field(default_factory=list)
+    app: Optional[MiniApp] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    translate_seconds: float = 0.0
+
+    @property
+    def sites_total(self) -> int:
+        return len(self.scan.sites)
+
+    def manifest(self) -> Dict:
+        """The JSON-able description of the bundle (spans, levels, artifacts)."""
+        kernels = []
+        for tk in self.translated:
+            stencils = []
+            for stencil in tk.stencils:
+                stencils.append(
+                    {
+                        "output": stencil.array,
+                        "func": stencil.func.name,
+                        "inputs": list(stencil.input_arrays),
+                        "scalar_params": list(stencil.scalar_params),
+                        "domain": [
+                            [bound_to_fortran(lower), bound_to_fortran(upper)]
+                            for lower, upper in stencil.domain_bounds
+                        ],
+                    }
+                )
+            schedule = tk.schedule
+            kernels.append(
+                {
+                    "name": tk.name,
+                    "procedure": tk.site.procedure,
+                    "span": [tk.site.start, tk.site.end],
+                    "verification_level": tk.verification_level,
+                    "schedule": schedule.describe() if schedule is not None else "default",
+                    "stencils": stencils,
+                    "artifacts": {
+                        "halide_cpp": [
+                            f"{tk.name}_{index}.halide.cpp"
+                            for index in range(len(tk.stencils))
+                        ],
+                        "fortran_glue": f"{tk.name}_glue.f90",
+                    },
+                }
+            )
+        fallbacks = [
+            {
+                "procedure": fb.site.procedure,
+                "span": [fb.site.start, fb.site.end],
+                "reason": fb.reason,
+            }
+            for fb in self.fallbacks
+        ]
+        return {
+            "application": self.name,
+            "driver": self.driver,
+            "kernels": kernels,
+            "fallbacks": fallbacks,
+            "counts": {
+                "sites": self.sites_total,
+                "translated": len(self.translated),
+                "fallback": len(self.fallbacks),
+                "verification_levels": verification_level_counts(
+                    [tk.report for tk in self.translated]
+                ),
+            },
+        }
+
+    def write_artifacts(self, directory: Union[str, Path]) -> List[Path]:
+        """Write the Halide C++, Fortran glue and manifest to ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for tk in self.translated:
+            for index, stencil in enumerate(tk.stencils):
+                path = directory / f"{tk.name}_{index}.halide.cpp"
+                path.write_text(stencil.cpp_source)
+                written.append(path)
+            if tk.report.glue_code is not None:
+                path = directory / f"{tk.name}_glue.f90"
+                path.write_text(tk.report.glue_code)
+                written.append(path)
+        manifest_path = directory / "manifest.json"
+        manifest_path.write_text(json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n")
+        written.append(manifest_path)
+        return written
+
+
+def translate_application(
+    app: Union[MiniApp, str],
+    options: Optional[PipelineOptions] = None,
+    cache=None,
+    pool_size: int = 1,
+    driver: Optional[str] = None,
+    name: Optional[str] = None,
+) -> ApplicationBundle:
+    """Translate a whole program: scan, lift everything, bundle.
+
+    ``app`` is a bundled :class:`MiniApp` or raw Fortran source (then
+    ``driver`` names the entry procedure).  ``pool_size > 1`` fans the
+    lifts over the batch scheduler's process pool; either way every
+    lift goes through ``cache`` when one is supplied, so a warm re-run
+    of the same application performs no synthesis at all.
+    """
+    started = time.perf_counter()
+    if isinstance(app, MiniApp):
+        source = app.source
+        driver = app.driver if driver is None else driver
+        name = app.name if name is None else name
+        mini = app
+    else:
+        source = app
+        mini = None
+        if driver is None:
+            raise ValueError("translate_application needs `driver` for raw source")
+        name = name or driver
+    options = options or PipelineOptions()
+
+    program = parse_source(source)
+    scan = scan_application(program)
+    liftable = scan.liftable_sites
+
+    if pool_size > 1:
+        scheduler = BatchScheduler(options, pool_size=pool_size, cache=cache)
+        jobs = [
+            KernelJob(index=index, kernel=site.kernel)
+            for index, site in enumerate(liftable)
+        ]
+        batch = scheduler.lift_kernels(jobs)
+        reports = batch.reports
+        hits, misses = batch.cache_hits, batch.cache_misses
+    else:
+        reports, hits, misses = _lift_sequential(liftable, options, cache)
+
+    bundle = ApplicationBundle(
+        name=name,
+        driver=driver,
+        source=source,
+        program=program,
+        scan=scan,
+        app=mini,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+    for site, report in zip(liftable, reports):
+        if report.translated and report.stencils:
+            bundle.translated.append(TranslatedKernel(site=site, report=report))
+        else:
+            reason = report.failure_reason or "no generated stencils"
+            bundle.fallbacks.append(FallbackSite(site=site, reason=reason))
+    for site in scan.fallback_sites:
+        bundle.fallbacks.append(FallbackSite(site=site, reason="; ".join(site.reasons)))
+    bundle.translate_seconds = time.perf_counter() - started
+    return bundle
+
+
+def _lift_sequential(sites: List[LoopSite], options: PipelineOptions, cache):
+    """In-process lift of every liftable site (no pool start-up cost)."""
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    pipeline = STNGPipeline(options, cache=cache)
+    reports: List[KernelReport] = []
+    for site in sites:
+        reports.append(pipeline.lift_kernel(site.kernel))
+    if cache is not None:
+        cache.save()
+    hits = (cache.hits - hits_before) if cache is not None else 0
+    misses = (cache.misses - misses_before) if cache is not None else 0
+    return reports, hits, misses

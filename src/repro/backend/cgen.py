@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.halide.cppgen import cpp_double_literal
 from repro.predicates.language import Postcondition, QuantifiedConstraint
 from repro.symbolic import expr as sx
 from repro.symbolic.simplify import simplify
@@ -38,7 +39,7 @@ def _expr_to_c(expr: sx.Expr, index_names: Dict[str, str]) -> str:
         value = expr.value
         if hasattr(value, "denominator") and getattr(value, "denominator") == 1:
             return str(int(value))
-        return repr(float(value))
+        return cpp_double_literal(float(value))
     if isinstance(expr, sx.Sym):
         return index_names.get(expr.name, expr.name)
     if isinstance(expr, sx.ArrayCell):

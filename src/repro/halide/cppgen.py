@@ -9,7 +9,8 @@ real Halide toolchain.
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import List, Optional
 
 from repro.halide.lang import (
     BinOp,
@@ -25,11 +26,41 @@ from repro.halide.lang import (
 from repro.halide.schedule import Schedule
 
 
+class LiteralError(ValueError):
+    """Raised when a constant has no valid C++ literal spelling."""
+
+
+def cpp_double_literal(value: float) -> str:
+    """Round-trippable C++ ``double`` literal for ``value``.
+
+    Python's ``repr`` is shortest-round-trip for IEEE doubles but emits
+    text like ``1e-05`` (no decimal point) and ``inf``/``nan`` (not C++
+    at all).  This printer guarantees the result parses as a C++
+    floating literal that reads back bit-identically: a decimal point is
+    forced when the mantissa has none, and non-finite values are
+    rejected with a clear error instead of producing invalid source.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise LiteralError(
+            f"cannot emit non-finite constant {value!r} as a C++ double literal"
+        )
+    text = repr(value)
+    if "e" in text:
+        mantissa, exponent = text.split("e", 1)
+        if "." not in mantissa:
+            mantissa += ".0"
+        return f"{mantissa}e{exponent}"
+    if "." not in text:
+        text += ".0"
+    return text
+
+
 def _expr_to_cpp(expr: Expr) -> str:
     if isinstance(expr, Const):
         value = expr.value
         if isinstance(value, float):
-            return repr(value)
+            return cpp_double_literal(value)
         return str(value)
     if isinstance(expr, Var):
         return expr.name
@@ -79,7 +110,7 @@ def _schedule_lines(func: Func, schedule: Schedule) -> List[str]:
     return lines
 
 
-def emit_cpp(func: Func, output_name: str, schedule: Schedule = None) -> str:
+def emit_cpp(func: Func, output_name: str, schedule: Optional[Schedule] = None) -> str:
     """Generate the C++ Halide generator program for one lifted stencil."""
     if func.definition is None:
         raise ValueError("cannot emit C++ for an undefined Func")

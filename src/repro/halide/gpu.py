@@ -12,9 +12,88 @@ reports with and without transfer time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.halide.lang import Func
+from repro.halide.lang import BinOp, Const, Func, ImageRef, Var
+
+
+def _index_offset_span(expr) -> Tuple[Optional[str], int, int]:
+    """Resolve one image index expression to ``(var, min_off, max_off)``.
+
+    Stencil index expressions are affine offsets of an output variable
+    (``x``, ``x + 1``, ``x - 2``); anything more complex falls back to a
+    conservative zero-offset read of that dimension, and a constant
+    index reads a single plane (``var`` is ``None``).
+    """
+    if isinstance(expr, Var):
+        return expr.name, 0, 0
+    if isinstance(expr, Const):
+        return None, int(expr.value), int(expr.value)
+    if isinstance(expr, BinOp) and expr.op in {"+", "-"}:
+        sign = 1 if expr.op == "+" else -1
+        if isinstance(expr.left, Var) and isinstance(expr.right, Const):
+            offset = sign * int(expr.right.value)
+            return expr.left.name, offset, offset
+        if expr.op == "+" and isinstance(expr.right, Var) and isinstance(expr.left, Const):
+            return expr.right.name, int(expr.left.value), int(expr.left.value)
+    for node in expr.walk():
+        if isinstance(node, Var):
+            return node.name, 0, 0
+    return None, 0, 0
+
+
+def input_footprints(func: Func, points: int) -> Dict[str, int]:
+    """Per-input-array element counts actually touched by the stencil.
+
+    The output domain is modelled as a hypercube of ``points`` cells
+    over the Func's dimensionality.  Each input's footprint is the
+    product, over its dimensions, of the referenced output extent plus
+    the halo implied by that dimension's access-offset spread — so a
+    9-point 2-D stencil over an ``n×n`` domain transfers ``(n+2)·(n+2)``
+    elements of its input, not ``n·n`` per read, and a lower-rank input
+    (a 1-D coefficient table read from a 3-D kernel) transfers only its
+    own extent instead of the whole output-domain size.
+    """
+    if func.definition is None:
+        return {}
+    rank = max(func.dimensions, 1)
+    extent = max(round(points ** (1.0 / rank)), 1)
+    # Per (input, dimension): the offset span of *varying* accesses
+    # (relative to an output variable) and the set of absolute constant
+    # planes — an absolute index like ``b(x, 5)`` reads one extra plane,
+    # it must not widen the relative halo.
+    spans: Dict[str, Dict[int, Tuple[int, int]]] = {}
+    planes: Dict[str, Dict[int, set]] = {}
+    ranks: Dict[str, int] = {}
+    for node in func.definition.walk():
+        if not isinstance(node, ImageRef):
+            continue
+        name = node.image.name
+        ranks[name] = node.image.dimensions
+        dim_spans = spans.setdefault(name, {})
+        dim_planes = planes.setdefault(name, {})
+        for dim, index in enumerate(node.indices):
+            var, low, high = _index_offset_span(index)
+            if var is None:
+                dim_planes.setdefault(dim, set()).update(range(low, high + 1))
+                continue
+            previous = dim_spans.get(dim)
+            if previous is None:
+                dim_spans[dim] = (low, high)
+            else:
+                dim_spans[dim] = (min(previous[0], low), max(previous[1], high))
+    footprints: Dict[str, int] = {}
+    for name in ranks:
+        elements = 1
+        for dim in range(ranks[name]):
+            size = 0
+            span = spans[name].get(dim)
+            if span is not None:
+                size += extent + (span[1] - span[0])
+            size += len(planes[name].get(dim, ()))
+            elements *= max(size, 1)
+        footprints[name] = elements
+    return footprints
 
 
 @dataclass(frozen=True)
@@ -36,12 +115,18 @@ class GPUModel:
         memory_time = bytes_moved / (self.memory_bandwidth_gbs * 1e9)
         return max(compute_time, memory_time) + self.kernel_launch_us * 1e-6
 
-    def transfer_time(self, func: Func, points: int, output_points: int = None) -> float:
-        """Seconds spent moving inputs to the device and results back."""
+    def transfer_time(self, func: Func, points: int, output_points: Optional[int] = None) -> float:
+        """Seconds spent moving inputs to the device and results back.
+
+        Each input array is charged its actual footprint — its extent
+        along every dimension plus the stencil's access-offset halo —
+        rather than a flat copy of the output-domain size per array.
+        """
         output_points = points if output_points is None else output_points
-        input_bytes = max(len(func.inputs()), 1) * points * 8
+        footprints = input_footprints(func, points)
+        input_elements = sum(footprints.values()) if footprints else points
         output_bytes = output_points * 8
-        return (input_bytes + output_bytes) / (self.pcie_bandwidth_gbs * 1e9)
+        return (input_elements * 8 + output_bytes) / (self.pcie_bandwidth_gbs * 1e9)
 
     def total_time(self, func: Func, points: int, include_transfer: bool) -> float:
         time = self.kernel_time(func, points)

@@ -54,6 +54,24 @@ class BatchJob:
     reduction_like: bool
 
 
+@dataclass(frozen=True)
+class KernelJob:
+    """A pre-lowered IR kernel as a schedulable unit.
+
+    Whole-application translation scans and lowers candidates itself
+    (it needs the enclosing statement spans), so its jobs carry the IR
+    kernel directly instead of Fortran source; expressions re-intern on
+    arrival in the worker via their pickle hooks.
+    """
+
+    index: int
+    kernel: Any
+    suite: str = ""
+    is_stencil: bool = True
+    points: Optional[int] = None
+    reduction_like: bool = False
+
+
 @dataclass
 class BatchResult:
     """Aggregated outcome of one batch run."""
@@ -160,6 +178,35 @@ def _worker_lift_job(
     return job.index, reports, new_entries, hits, misses
 
 
+def _lift_kernel_job(job: KernelJob, options: PipelineOptions, cache: Optional[SynthesisCache]) -> List[KernelReport]:
+    """Lift one pre-lowered kernel with the plain sequential pipeline."""
+    pipeline = STNGPipeline(options, cache=cache)
+    report = pipeline.lift_kernel(
+        job.kernel,
+        suite=job.suite,
+        is_stencil=job.is_stencil,
+        points=job.points,
+        reduction_like=job.reduction_like,
+    )
+    return [report]
+
+
+def _worker_lift_kernel_job(
+    job: KernelJob,
+    options_payload: Dict[str, Any],
+) -> Tuple[int, List[KernelReport], Dict[str, Dict[str, Any]], int, int]:
+    """Process-pool entry point for :class:`KernelJob` units."""
+    options = PipelineOptions(**options_payload)
+    cache = _WORKER_CACHE
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    reports = _lift_kernel_job(job, options, cache)
+    new_entries = cache.drain_new_entries() if cache is not None else {}
+    hits = cache.hits - hits_before if cache is not None else 0
+    misses = cache.misses - misses_before if cache is not None else 0
+    return job.index, reports, new_entries, hits, misses
+
+
 class BatchScheduler:
     """Fan kernels out over a process pool; aggregate deterministically.
 
@@ -191,7 +238,18 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     def lift_cases(self, cases: Sequence[KernelCase]) -> BatchResult:
         """Lift every case on the pool; reports come back in submission order."""
-        jobs = jobs_from_cases(cases)
+        return self._run_jobs(jobs_from_cases(cases), _worker_lift_job)
+
+    def lift_kernels(self, jobs: Sequence[KernelJob]) -> BatchResult:
+        """Lift pre-lowered IR kernels on the pool (whole-application path).
+
+        Same cache discipline and deterministic submission-order
+        aggregation as :meth:`lift_cases`; one report per job.
+        """
+        return self._run_jobs(list(jobs), _worker_lift_kernel_job)
+
+    def _run_jobs(self, jobs, worker) -> BatchResult:
+        """Fan jobs over the pool; merge worker cache entries; save once."""
         options_payload = asdict(self.options)
         cache_path = str(self.cache.path) if self.cache is not None and self.cache.path else None
         cache_entries = None
@@ -213,7 +271,7 @@ class BatchScheduler:
                 initargs=(cache_path, cache_entries, cache_failures, code_version),
             ) as pool:
                 futures = [
-                    pool.submit(_worker_lift_job, job, options_payload)
+                    pool.submit(worker, job, options_payload)
                     for job in jobs
                 ]
                 for future in futures:

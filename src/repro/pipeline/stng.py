@@ -19,6 +19,7 @@ from repro.backend.halidegen import (
 from repro.frontend.candidates import Candidate, CandidateReport, identify_candidates
 from repro.frontend.lowering import LoweringError, lower_candidate
 from repro.frontend.parser import ParseError, parse_source
+from repro.halide.schedule import Schedule
 from repro.ir.nodes import Kernel
 from repro.perfmodel.compiler import (
     GFORTRAN,
@@ -90,7 +91,12 @@ class PipelineOptions:
 
 @dataclass
 class MeasuredPerformance:
-    """Measured (wall-clock) autotuning results for one generated stencil."""
+    """Measured (wall-clock) autotuning results for one generated stencil.
+
+    ``schedule`` is the winning :class:`~repro.halide.schedule.Schedule`
+    object itself (``tuned_schedule`` is its description text); the
+    whole-application executor realizes substituted kernels under it.
+    """
 
     default_seconds: float
     tuned_seconds: float
@@ -99,6 +105,7 @@ class MeasuredPerformance:
     backend: str
     evaluations: int
     verified: bool
+    schedule: Optional["Schedule"] = None
 
 
 @dataclass
@@ -414,6 +421,7 @@ class STNGPipeline:
             backend=self.options.measure_backend,
             evaluations=objective.evaluations,
             verified=objective.all_verified,
+            schedule=result.best_schedule,
         )
 
 

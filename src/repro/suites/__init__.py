@@ -11,14 +11,18 @@ are hand-optimised, which need annotations).  Each kernel is a
 the metadata the pipeline and benchmark harness need.
 """
 
+from repro.suites.apps import MiniApp, mini_app, mini_apps
 from repro.suites.base import KernelCase, stencil_fortran
 from repro.suites.registry import PAPER_TABLE2, all_cases, cases_for_suite, suite_names
 
 __all__ = [
     "KernelCase",
+    "MiniApp",
     "PAPER_TABLE2",
     "all_cases",
     "cases_for_suite",
+    "mini_app",
+    "mini_apps",
     "stencil_fortran",
     "suite_names",
 ]

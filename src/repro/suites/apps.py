@@ -1,0 +1,265 @@
+"""Bundled multi-kernel mini-applications (the whole-program workloads).
+
+The paper's headline result is translating *applications* — CloverLeaf,
+TERRA, NAS MG — not single loop nests: STNG finds every liftable kernel
+in the program, replaces each with a generated Halide pipeline behind
+Fortran glue, and runs the translated program.  The real applications
+cannot be redistributed, so this module bundles small but structurally
+faithful stand-ins: multi-procedure Fortran programs with a driver that
+chains several stencil kernels (outputs of one feeding inputs of the
+next) plus deliberately-unliftable loops that must fall back to plain
+interpretation.
+
+Initial data discipline: every array is filled with small *integer*
+values and every kernel coefficient is dyadic (0.25, 0.5, 1.0), so all
+intermediate values are exactly representable IEEE doubles.  Summary
+synthesis may reassociate a kernel's sum, and reassociation only
+preserves bit-identical floating-point results when the arithmetic is
+exact — this is what lets the differential harness demand the
+translated program match the reference interpreter *bit for bit*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MiniApp:
+    """One bundled multi-kernel program plus the harness metadata.
+
+    ``driver`` names the entry procedure; its integer parameters are the
+    grid bounds produced by :meth:`grid_scalars` and its array
+    parameters are allocated by the harness
+    (:func:`repro.application.interp.allocate_arrays`).
+    """
+
+    name: str
+    suite: str
+    source: str
+    driver: str
+    grids: Tuple[int, ...]
+    expected_liftable: int
+    expected_fallback: int
+    notes: str = ""
+
+    def grid_scalars(self, n: int) -> Dict[str, int]:
+        """Driver bound arguments for an ``(n+1) x (n+1)`` grid."""
+        return {"ilo": 0, "ihi": n, "jlo": 0, "jhi": n}
+
+
+_CLOVERLEAF_MINI = """\
+subroutine flux_calc(ilo, ihi, jlo, jhi, vol_flux, xvel)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: vol_flux
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo, jhi
+  do i = ilo+1, ihi-1
+    vol_flux(i, j) = 0.5d0*xvel(i-1, j) + 0.5d0*xvel(i+1, j)
+  enddo
+enddo
+end subroutine flux_calc
+
+subroutine ideal_gas(ilo, ihi, jlo, jhi, pressure, density0, energy)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: pressure
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density0
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo, jhi
+  do i = ilo, ihi
+    pressure(i, j) = 0.5d0*density0(i, j) + 0.25d0*energy(i, j)
+  enddo
+enddo
+end subroutine ideal_gas
+
+subroutine viscosity_kernel(ilo, ihi, jlo, jhi, viscosity, xvel, yvel)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: viscosity
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo+1, jhi-1
+  do i = ilo+1, ihi-1
+    viscosity(i, j) = xvel(i, j) + 0.25d0*xvel(i-1, j) + 0.25d0*xvel(i+1, j) + 0.25d0*yvel(i, j-1) + 0.25d0*yvel(i, j+1)
+  enddo
+enddo
+end subroutine viscosity_kernel
+
+subroutine advec_cell(ilo, ihi, jlo, jhi, density1, density0, vol_flux)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density0
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: vol_flux
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo+1, jhi-1
+  do i = ilo+1, ihi-1
+    density1(i, j) = density0(i, j) + 0.25d0*vol_flux(i-1, j) - 0.25d0*vol_flux(i+1, j)
+  enddo
+enddo
+end subroutine advec_cell
+
+subroutine update_energy(ilo, ihi, jlo, jhi, energy1, energy, pressure)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: pressure
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo+1, jhi-1
+  do i = ilo, ihi
+    energy1(i, j) = energy(i, j) + 0.25d0*pressure(i, j-1) - 0.25d0*pressure(i, j+1)
+  enddo
+enddo
+end subroutine update_energy
+
+subroutine apply_floor(ilo, ihi, jlo, jhi, density1)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo, jhi
+  do i = ilo, ihi
+    if (density1(i, j) < 0.0d0) then
+      density1(i, j) = 0.0d0
+    else
+      density1(i, j) = density1(i, j) + 1.0d0
+    endif
+  enddo
+enddo
+end subroutine apply_floor
+
+subroutine reverse_halo(ilo, ihi, jlo, jhi, work, density1, viscosity)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: work
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: viscosity
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jhi, jlo, -1
+  do i = ilo, ihi
+    work(i, j) = density1(i, j) + viscosity(i, j)
+  enddo
+enddo
+end subroutine reverse_halo
+
+subroutine hydro(ilo, ihi, jlo, jhi, density0, density1, energy, energy1, pressure, viscosity, vol_flux, xvel, yvel, work)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density0
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: pressure
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: viscosity
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: vol_flux
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: work
+integer :: ilo, ihi
+integer :: jlo, jhi
+call flux_calc(ilo, ihi, jlo, jhi, vol_flux, xvel)
+call ideal_gas(ilo, ihi, jlo, jhi, pressure, density0, energy)
+call viscosity_kernel(ilo, ihi, jlo, jhi, viscosity, xvel, yvel)
+call advec_cell(ilo, ihi, jlo, jhi, density1, density0, vol_flux)
+call update_energy(ilo, ihi, jlo, jhi, energy1, energy, pressure)
+call apply_floor(ilo, ihi, jlo, jhi, density1)
+call reverse_halo(ilo, ihi, jlo, jhi, work, density1, viscosity)
+end subroutine hydro
+"""
+
+
+_HEAT_MINI = """\
+subroutine heat_step(ilo, ihi, jlo, jhi, unew, uold)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: unew
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: uold
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo+1, jhi-1
+  do i = ilo+1, ihi-1
+    unew(i, j) = 0.25d0*uold(i-1, j) + 0.25d0*uold(i+1, j) + 0.25d0*uold(i, j-1) + 0.25d0*uold(i, j+1)
+  enddo
+enddo
+end subroutine heat_step
+
+subroutine copy_back(ilo, ihi, jlo, jhi, uold, unew)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: uold
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: unew
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo+1, jhi-1
+  do i = ilo+1, ihi-1
+    uold(i, j) = unew(i, j)
+  enddo
+enddo
+end subroutine copy_back
+
+subroutine clamp_top(ilo, ihi, jlo, jhi, uold)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: uold
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo, jhi
+  do i = ilo, ihi
+    if (uold(i, j) > 2.0d0) then
+      uold(i, j) = 2.0d0
+    endif
+  enddo
+enddo
+end subroutine clamp_top
+
+subroutine heat_driver(ilo, ihi, jlo, jhi, uold, unew)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: uold
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: unew
+integer :: ilo, ihi
+integer :: jlo, jhi
+call heat_step(ilo, ihi, jlo, jhi, unew, uold)
+call copy_back(ilo, ihi, jlo, jhi, uold, unew)
+call clamp_top(ilo, ihi, jlo, jhi, uold)
+call heat_step(ilo, ihi, jlo, jhi, unew, uold)
+end subroutine heat_driver
+"""
+
+
+def cloverleaf_mini_app() -> MiniApp:
+    """CloverLeaf-style hydro step: five liftable kernels, two fallbacks.
+
+    The driver chains the kernels so substituted outputs feed later
+    kernels *and* the unliftable loops (``vol_flux`` → ``advec_cell``,
+    ``pressure`` → ``update_energy``, ``density1`` → ``apply_floor`` →
+    ``reverse_halo``), which is what makes the differential run a real
+    whole-program check rather than five independent kernel checks.
+    """
+    return MiniApp(
+        name="cloverleaf_mini",
+        suite="CloverLeaf",
+        source=_CLOVERLEAF_MINI,
+        driver="hydro",
+        grids=(8, 13, 21),
+        expected_liftable=5,
+        expected_fallback=2,
+        notes="hydro step: flux, EOS, viscosity, advection, energy + "
+        "conditional floor and decrementing halo fallbacks",
+    )
+
+
+def heat_mini_app() -> MiniApp:
+    """Two-kernel heat relaxation whose driver calls one kernel twice."""
+    return MiniApp(
+        name="heat_mini",
+        suite="StencilMark",
+        source=_HEAT_MINI,
+        driver="heat_driver",
+        grids=(6, 11, 16),
+        expected_liftable=2,
+        expected_fallback=1,
+        notes="Jacobi step + copy-back, repeated call site, conditional clamp fallback",
+    )
+
+
+def mini_apps() -> List[MiniApp]:
+    """Every bundled multi-kernel application."""
+    return [cloverleaf_mini_app(), heat_mini_app()]
+
+
+def mini_app(name: str) -> MiniApp:
+    for app in mini_apps():
+        if app.name == name:
+            return app
+    raise KeyError(f"unknown mini-app {name!r}")
