@@ -7,6 +7,15 @@ and the verification-level histogram into the CI benchmark JSON
 artifact (``--benchmark-json`` → ``extra_info``), plus a standalone
 ``application-translation.json`` uploaded alongside the other
 artifacts.
+
+Substituted sites dispatch through the native (compiled-C) backend when
+a C toolchain is present (``backend="auto"``), with compiled kernels
+content-addressed in an :class:`~repro.cache.artifacts.ArtifactStore`.
+The benchmark asserts the two acceptance criteria of the small-grid
+fix: **no grid regresses** (translated ≥ original at every measured
+grid, including grid 8 where per-call dispatch overhead used to win),
+and **warm runs recompile nothing** (a fresh store on the same artifact
+directory performs zero compiler invocations).
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ import json
 from pathlib import Path
 
 from repro.application import differential_check, translate_application
+from repro.cache.artifacts import ArtifactStore
 from repro.cache.store import SynthesisCache
+from repro.native import find_toolchain, resolve_backend
 from repro.pipeline.report import verification_level_counts
 from repro.pipeline.stng import PipelineOptions
 from repro.suites.apps import cloverleaf_mini_app
@@ -24,10 +35,15 @@ from repro.suites.apps import cloverleaf_mini_app
 # the interpreter-vs-translated gap is measured on a non-trivial size.
 TIMING_GRIDS = (8, 13, 21, 48)
 
+# Min-of-N timing per side per grid: makes the per-grid regression
+# flags robust to scheduler noise on the sub-millisecond small grids.
+TIMING_REPEATS = 3
 
-def test_whole_application_translation(benchmark, capsys):
+
+def test_whole_application_translation(benchmark, capsys, tmp_path):
     app = cloverleaf_mini_app()
     cache = SynthesisCache(None)
+    artifact_dir = tmp_path / "artifacts"
     # ``measure``: each substituted kernel runs under its wall-clock
     # autotuned schedule rather than the default one.
     options = PipelineOptions(
@@ -39,10 +55,19 @@ def test_whole_application_translation(benchmark, capsys):
 
     def translate_and_run():
         bundle = translate_application(app, options, cache=cache)
-        report = differential_check(bundle, grids=TIMING_GRIDS)
-        return bundle, report
+        artifacts = ArtifactStore(artifact_dir)
+        report = differential_check(
+            bundle,
+            grids=TIMING_GRIDS,
+            backend="auto",
+            timing_repeats=TIMING_REPEATS,
+            artifacts=artifacts,
+        )
+        return bundle, report, artifacts
 
-    bundle, report = benchmark.pedantic(translate_and_run, rounds=1, iterations=1)
+    bundle, report, artifacts = benchmark.pedantic(
+        translate_and_run, rounds=1, iterations=1
+    )
 
     # Acceptance: every liftable kernel substituted, fallbacks interpreted,
     # original and translated programs bitwise identical on every grid.
@@ -50,15 +75,44 @@ def test_whole_application_translation(benchmark, capsys):
     assert len(bundle.fallbacks) == app.expected_fallback
     assert report.all_identical, [run.mismatched_arrays for run in report.runs]
 
+    # The regression flags the publisher must surface: no measured grid
+    # may run slower translated than original — small grids included.
+    assert not report.regressions, (
+        f"translated program regressed at grids {report.regressions}: "
+        + ", ".join(f"{run.grid}:{run.speedup:.2f}x" for run in report.runs)
+    )
+
     # Warm-cache re-run of the whole application performs no synthesis.
     warm = translate_application(app, options, cache=cache)
     assert warm.cache_misses == 0
     assert warm.cache_hits == app.expected_liftable
 
+    # Cold-vs-warm native verification: with a toolchain present, the
+    # cold run compiled every substituted kernel once; a fresh store on
+    # the same directory must satisfy every site from cached .so files
+    # with zero compiler invocations.
+    backend = resolve_backend("auto")
+    warm_native_stats = None
+    if find_toolchain() is not None:
+        assert backend == "native"
+        assert artifacts.compiles > 0
+        warm_artifacts = ArtifactStore(artifact_dir)
+        warm_report = differential_check(
+            bundle,
+            grids=TIMING_GRIDS[:1],
+            backend="auto",
+            artifacts=warm_artifacts,
+        )
+        assert warm_report.all_identical
+        assert warm_artifacts.compiles == 0, "warm run recompiled a cached kernel"
+        assert warm_artifacts.hits > 0 and warm_artifacts.misses == 0
+        warm_native_stats = warm_artifacts.stats()
+
     levels = verification_level_counts([tk.report for tk in bundle.translated])
     biggest = report.runs[-1]
     payload = {
         "application": app.name,
+        "backend": backend,
         "kernels_total": bundle.sites_total,
         "kernels_lifted": len(bundle.translated),
         "kernels_fallback": len(bundle.fallbacks),
@@ -66,6 +120,8 @@ def test_whole_application_translation(benchmark, capsys):
         "translate_seconds": bundle.translate_seconds,
         "warm_cache_misses": warm.cache_misses,
         "differential": report.as_json(),
+        "artifact_cache": artifacts.stats(),
+        "warm_artifact_cache": warm_native_stats,
         "largest_grid": {
             "grid": biggest.grid,
             "original_seconds": biggest.original_seconds,
@@ -79,6 +135,8 @@ def test_whole_application_translation(benchmark, capsys):
             "kernels_total": payload["kernels_total"],
             "proved": levels["proved"],
             "bounded_only": levels["bounded"],
+            "backend": backend,
+            "regressions": len(report.regressions),
             "original_seconds": biggest.original_seconds,
             "translated_seconds": biggest.translated_seconds,
             "translated_speedup": biggest.speedup,
@@ -93,16 +151,25 @@ def test_whole_application_translation(benchmark, capsys):
         print("\n=== Whole-application translation (cloverleaf_mini) ===")
         print(
             f"kernels: {payload['kernels_lifted']}/{payload['kernels_total']} lifted "
-            f"({payload['kernels_fallback']} fallback)  levels: {levels}"
+            f"({payload['kernels_fallback']} fallback)  levels: {levels}  "
+            f"backend: {backend}"
         )
         for run in report.runs:
             status = "bit-identical" if run.identical else "MISMATCH"
+            flag = "  REGRESSION" if run.regression else ""
             print(
                 f"grid {run.grid:3d}: {status}  interpreter {run.original_seconds:7.3f}s  "
-                f"translated {run.translated_seconds:7.3f}s  ({run.speedup:5.1f}x)"
+                f"translated {run.translated_seconds:7.3f}s  ({run.speedup:5.1f}x){flag}"
             )
         print(f"translate (cold, incl. synthesis): {bundle.translate_seconds:.2f}s; "
               f"warm re-run: {warm.cache_hits} cache hits, 0 misses")
+        if warm_native_stats is not None:
+            stats = artifacts.stats()
+            print(
+                f"native artifacts: {stats['entries']} compiled "
+                f"({stats['compiles']} cold compiles, {stats['compile_seconds']:.2f}s); "
+                f"warm run: {warm_native_stats['artifact_hits']} hits, 0 compiles"
+            )
 
     # The translated program must beat the scalar interpreter on the
     # largest grid — the point of substituting compiled loop nests.

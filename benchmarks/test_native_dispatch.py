@@ -1,0 +1,152 @@
+"""Native-vs-Python backend benchmark (the small-grid fix, isolated).
+
+Lifts one CloverLeaf Table-1 kernel and times the same lowered loop
+nest on the generated-Python backend and the native (compiled-C)
+backend across a grid sweep that brackets the dispatch-bound regime —
+small grids are exactly where interpreted/Python dispatch used to make
+translation a pessimization.  Publishes per-grid wall clock and
+speedups as ``native-dispatch.json`` (uploaded by the non-blocking CI
+job) plus ``extra_info`` in the benchmark JSON artifact.
+
+Also verifies the compiled-artifact cache end to end: the cold pass
+compiles once per (kernel, strictness), and a warm pass through a
+fresh :class:`~repro.cache.artifacts.ArtifactStore` on the same
+directory loads the shared object with zero compiler invocations.
+
+Skipped entirely when no C toolchain is available (``$REPRO_CC``,
+``cc``, ``gcc`` or ``clang``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend.halidegen import postcondition_to_func
+from repro.cache.artifacts import ArtifactStore
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.halide import Schedule, compile_loop_nest, lower
+from repro.native import compile_nest_native, find_toolchain
+from repro.suites.registry import cases_for_suite
+from repro.synthesis import synthesize_kernel
+
+pytestmark = pytest.mark.skipif(
+    find_toolchain() is None, reason="no usable C compiler on this machine"
+)
+
+KERNEL_NAME = "ackl94"  # CloverLeaf, 2-D wide cross, plain (Table 1)
+GRIDS = (8, 16, 32, 64, 128)
+REPEATS = 5
+
+
+def _lift_stencil():
+    case = next(c for c in cases_for_suite("CloverLeaf") if c.name == KERNEL_NAME)
+    kernel = lower_candidate(
+        identify_candidates(parse_source(case.source)).candidates[0]
+    )
+    result = synthesize_kernel(kernel, seed=0, verifier_environments=1)
+    return case, postcondition_to_func(result.post)[0]
+
+
+def _time_runner(runner, domain, inputs, params):
+    runner(domain, inputs, None, params)  # discarded warm-up call
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        out = runner(domain, inputs, None, params)
+        best = min(best, time.perf_counter() - started)
+    return best, out
+
+
+def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
+    case, stencil = _lift_stencil()
+    func = stencil.func
+    rng = np.random.default_rng(7)
+    params = {param.name: 2.0 for param in func.params()}
+    artifact_dir = tmp_path / "artifacts"
+    schedule = Schedule.default()
+
+    rows = []
+
+    def sweep():
+        artifacts = ArtifactStore(artifact_dir)
+        for grid in GRIDS:
+            domain = [(0, grid - 1)] * func.dimensions
+            inputs = {
+                image.name: rng.standard_normal((grid,) * image.dimensions)
+                for image in func.inputs()
+            }
+            nest = lower(func, schedule)
+            python_seconds, python_out = _time_runner(
+                compile_loop_nest(nest), domain, inputs, params
+            )
+            native_seconds, native_out = _time_runner(
+                compile_nest_native(nest, artifacts=artifacts), domain, inputs, params
+            )
+            assert native_out.tobytes() == python_out.tobytes(), grid
+            rows.append(
+                {
+                    "grid": grid,
+                    "python_seconds": python_seconds,
+                    "native_seconds": native_seconds,
+                    "speedup": python_seconds / max(native_seconds, 1e-12),
+                }
+            )
+        return artifacts
+
+    artifacts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # One source, one schedule → exactly one cold compilation; a fresh
+    # store on the same directory must then load it without compiling.
+    assert artifacts.compiles == 1
+    warm = ArtifactStore(artifact_dir)
+    warm_runner = compile_nest_native(lower(func, schedule), artifacts=warm)
+    domain = [(0, GRIDS[0] - 1)] * func.dimensions
+    inputs = {
+        image.name: rng.standard_normal((GRIDS[0],) * image.dimensions)
+        for image in func.inputs()
+    }
+    warm_runner(domain, inputs, None, params)
+    assert warm.compiles == 0 and warm.hits == 1
+
+    payload = {
+        "kernel": f"{case.suite}/{case.name}",
+        "schedule": schedule.describe(),
+        "toolchain": find_toolchain().fingerprint(),
+        "repeats": REPEATS,
+        "grids": rows,
+        "artifact_cache": artifacts.stats(),
+        "warm_artifact_cache": warm.stats(),
+    }
+    benchmark.extra_info.update(
+        {
+            "kernel": payload["kernel"],
+            "smallest_grid_speedup": round(rows[0]["speedup"], 2),
+            "largest_grid_speedup": round(rows[-1]["speedup"], 2),
+            "cold_compiles": artifacts.compiles,
+            "warm_compiles": warm.compiles,
+        }
+    )
+    Path("native-dispatch.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    with capsys.disabled():
+        print(f"\n=== Native vs generated-Python dispatch ({payload['kernel']}) ===")
+        for row in rows:
+            print(
+                f"grid {row['grid']:4d}: python {row['python_seconds'] * 1e6:9.1f}us  "
+                f"native {row['native_seconds'] * 1e6:9.1f}us  "
+                f"({row['speedup']:6.1f}x)"
+            )
+        print(f"cold compiles: {artifacts.compiles}; warm compiles: {warm.compiles} "
+              f"({warm.hits} artifact hits)")
+
+    # The point of the native backend: on the smallest grid — the
+    # dispatch-bound regime — compiled dispatch must win outright.
+    assert rows[0]["native_seconds"] < rows[0]["python_seconds"]

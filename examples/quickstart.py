@@ -17,7 +17,10 @@ bit-identical against the schedule-blind reference.
 This is the single-kernel story; for translating *whole applications*
 (scan every procedure, lift every kernel, substitute, differentially
 execute) see docs/application_translation.md and
-``examples/lift_cloverleaf.py``.
+``examples/lift_cloverleaf.py``.  Scheduled execution here uses the
+Python backends; when a C toolchain is present the same nests can run
+through the native compiled-C backend with a content-addressed
+artifact cache — see docs/native_execution.md.
 """
 
 from __future__ import annotations

@@ -34,6 +34,7 @@ from repro.halide.lang import Func
 from repro.halide.lower import compile_loop_nest, lower
 from repro.halide.loopir import execute_loop_nest
 from repro.halide.schedule import Schedule
+from repro.native.toolchain import resolve_backend
 from repro.perfmodel.compiler import HALIDE_CPU
 from repro.perfmodel.machine import MachineModel, XEON_NODE
 from repro.perfmodel.workload import KernelWorkload
@@ -76,15 +77,30 @@ class MeasuredObjective:
         takes it.  The schedule-blind reference output is computed once
         at construction and every measured run is compared against it.
     backend:
-        ``"codegen"`` (generated-Python, the fast backend measured
-        autotuning should use) or ``"interp"`` (the tiled-NumPy
-        interpreter).
+        ``"codegen"`` (generated-Python, the default), ``"interp"``
+        (the tiled-NumPy interpreter), ``"native"`` (compiled C via
+        :mod:`repro.native`), or ``"auto"`` (native when a C toolchain
+        is present, codegen otherwise).  When native compilation is
+        unavailable for a schedule's nest — no toolchain, or the
+        definition falls outside the bit-identical C fragment — the
+        measurement silently uses codegen; :attr:`effective_backend`
+        records what actually ran last.
     repeats:
         Timed runs per schedule; the *minimum* is reported (standard
         practice for microbenchmarks — noise only ever adds time).
+    warmup:
+        Discarded runs before the timed window.  The first call of a
+        freshly lowered nest pays one-time costs that are not steady
+        state (allocator warm-up, branch history, ``dlopen``/page
+        faults for the native backend); timing it used to leak that
+        cost into the min-of-repeats, biasing the tuner against
+        whichever schedule it happened to evaluate first.
     differential:
         When true (default) every measured output is checked
         bit-identical to the reference.
+    artifacts:
+        Optional :class:`~repro.cache.artifacts.ArtifactStore` so the
+        native backend reuses compiled kernels across processes.
     """
 
     def __init__(
@@ -99,17 +115,22 @@ class MeasuredObjective:
         differential: bool = True,
         strict_bounds: bool = False,
         parallel_chunks: int = 8,
+        warmup: int = 1,
+        artifacts=None,
     ):
         self.func = func
         self.domain = list(domain)
         self.inputs = inputs
         self.input_origins = dict(input_origins or {})
         self.params = dict(params or {})
-        self.backend = backend
+        self.backend = resolve_backend(backend)
+        self.effective_backend = self.backend
         self.repeats = max(1, repeats)
+        self.warmup = max(0, warmup)
         self.differential = differential
         self.strict_bounds = strict_bounds
         self.parallel_chunks = parallel_chunks
+        self.artifacts = artifacts
         self.reference = realize(
             func, self.domain, inputs, self.input_origins, self.params, strict_bounds
         )
@@ -125,7 +146,23 @@ class MeasuredObjective:
                     self.params, self.strict_bounds,
                 )
             return run
-        runner = compile_loop_nest(nest, self.strict_bounds)
+        runner = None
+        if self.backend == "native":
+            from repro.native.csource import NativeUnsupportedError
+            from repro.native.dispatch import compile_nest_native
+            from repro.native.toolchain import ToolchainError
+
+            try:
+                runner = compile_nest_native(
+                    nest, self.strict_bounds, artifacts=self.artifacts
+                )
+                self.effective_backend = "native"
+            except (NativeUnsupportedError, ToolchainError):
+                runner = None  # measure on codegen instead
+        if runner is None:
+            runner = compile_loop_nest(nest, self.strict_bounds)
+            if self.backend == "native":
+                self.effective_backend = "codegen"
 
         def run():
             return runner(self.domain, self.inputs, self.input_origins, self.params)
@@ -133,10 +170,17 @@ class MeasuredObjective:
         return run
 
     def measure(self, schedule: Schedule) -> Measurement:
-        """Time one schedule (compile excluded) and differentially check it."""
+        """Time one schedule and differentially check it.
+
+        Compilation/lowering happens before the clock starts, and
+        ``warmup`` runs are executed and *discarded* first, so the
+        min-of-``repeats`` window times only steady-state calls.
+        """
         run = self._runner(schedule)
         best = float("inf")
         out = None
+        for _ in range(self.warmup):
+            out = run()
         for _ in range(self.repeats):
             start = time.perf_counter()
             out = run()

@@ -19,18 +19,24 @@ definitive failures) are persisted to a JSON store
 (:mod:`repro.cache.store`) so warm runs skip synthesis entirely.
 """
 
+from repro.cache.artifacts import ArtifactStore, artifact_key
 from repro.cache.fingerprint import (
     CODE_VERSION,
     fingerprint_kernel,
     fingerprint_synthesis,
     options_signature,
 )
+from repro.cache.locks import FileLock, LockTimeout
 from repro.cache.store import CachedOutcome, SynthesisCache
 
 __all__ = [
+    "ArtifactStore",
     "CODE_VERSION",
     "CachedOutcome",
+    "FileLock",
+    "LockTimeout",
     "SynthesisCache",
+    "artifact_key",
     "fingerprint_kernel",
     "fingerprint_synthesis",
     "options_signature",

@@ -1,0 +1,167 @@
+"""Content-addressed store of compiled native kernel artifacts.
+
+The native execution backend (:mod:`repro.native`) compiles emitted C
+kernels into shared objects with the system toolchain.  Compilation is
+by far the most expensive part of native dispatch, and it is a pure
+function of (generated source, compiler, flags) — exactly the shape of
+an output cache: this store keys every ``.so`` by the SHA-256 of that
+triple, so a warm run ``dlopen``\\ s the cached artifact instead of
+re-lowering and re-compiling anything.
+
+Layout: one directory holding ``<key>.so`` plus a ``<key>.json``
+metadata sidecar (kernel name, schedule, source digest, compiler
+fingerprint, creation time).  Writers publish atomically
+(temp file + ``os.replace``) under a crash-reclaimable
+:class:`~repro.cache.locks.FileLock`, so concurrent processes sharing a
+store directory never observe half-written artifacts and a killed
+writer never wedges the store.
+
+The store keeps per-instance counters (artifact hits/misses, compiles
+performed, compile seconds) which the benchmarks publish next to the
+speedup JSON — a warm run is *verified* warm by ``compiles == 0``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.cache.locks import FileLock, LockTimeout
+
+# Bump when the artifact layout or the generated-code ABI changes: old
+# artifacts become unreachable (new keys) rather than wrongly loaded.
+ARTIFACT_FORMAT = "native-artifact-1"
+
+
+def artifact_key(source: str, toolchain_fingerprint: str) -> str:
+    """Content address of one compiled kernel.
+
+    The key covers everything the bits of the ``.so`` depend on: the
+    generated C source (which itself encodes the lowered loop nest,
+    i.e. kernel *and* schedule *and* strict-bounds mode), the compiler
+    identity/version and the flag set, and the artifact format version.
+    """
+    digest = hashlib.sha256()
+    digest.update(ARTIFACT_FORMAT.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(toolchain_fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ArtifactStore:
+    """A directory of content-addressed compiled kernels.
+
+    Parameters
+    ----------
+    directory:
+        Where artifacts live; created on first write.
+    lock_timeout:
+        Passed to the publish-time :class:`FileLock`; on timeout the
+        artifact is still produced for this process (from its temp
+        build), it just is not published to the shared directory.
+    """
+
+    def __init__(self, directory: "os.PathLike[str] | str", lock_timeout: float = 10.0):
+        self.directory = Path(directory)
+        self.lock_timeout = lock_timeout
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self.compile_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lookup / publish
+    # ------------------------------------------------------------------
+    def so_path(self, key: str) -> Path:
+        return self.directory / f"{key}.so"
+
+    def get(self, key: str) -> Optional[Path]:
+        """Path of the cached shared object for ``key``, or ``None``."""
+        path = self.so_path(key)
+        if path.is_file():
+            self.hits += 1
+            return path
+        self.misses += 1
+        return None
+
+    def put(self, key: str, built_so: "os.PathLike[str] | str", metadata: Optional[Dict[str, Any]] = None) -> Path:
+        """Publish a freshly compiled ``.so`` under ``key``; returns its path.
+
+        The build itself happens outside the store (and outside the
+        lock); publishing copies the file next to a metadata sidecar
+        with an atomic replace.  If another process published the same
+        key first, its artifact wins (the contents are identical by
+        construction).
+        """
+        target = self.so_path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock = FileLock(self.directory / ".lock", timeout=self.lock_timeout)
+        try:
+            lock.acquire()
+        except LockTimeout:
+            return Path(built_so)  # keep the private build; skip publishing
+        try:
+            if target.is_file():
+                return target
+            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".so.tmp", dir=str(self.directory))
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(Path(built_so).read_bytes())
+                os.replace(tmp_name, target)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            sidecar = {
+                "format": ARTIFACT_FORMAT,
+                "created": time.time(),
+                "size": target.stat().st_size,
+            }
+            sidecar.update(metadata or {})
+            meta_path = self.directory / f"{key}.json"
+            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".json.tmp", dir=str(self.directory))
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(sidecar, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, meta_path)
+            return target
+        finally:
+            lock.release()
+
+    def note_compile(self, seconds: float) -> None:
+        """Record one toolchain invocation (for the cold-vs-warm stats)."""
+        self.compiles += 1
+        self.compile_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for path in self.directory.glob("*.so"))
+
+    def total_bytes(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.directory.glob("*.so"))
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able counters for benchmark/CI publication."""
+        return {
+            "directory": str(self.directory),
+            "entries": self.entry_count(),
+            "bytes": self.total_bytes(),
+            "artifact_hits": self.hits,
+            "artifact_misses": self.misses,
+            "compiles": self.compiles,
+            "compile_seconds": self.compile_seconds,
+        }

@@ -20,6 +20,11 @@ Robustness rules:
   on-disk entries first so concurrent writers sharing one path cannot
   clobber each other's entries (last-replace-wins applies only to
   entries with the same fingerprint, which are interchangeable);
+* the read-merge-replace sequence runs under a crash-reclaimable
+  :class:`~repro.cache.locks.FileLock`: a writer killed mid-save leaves
+  a lock file behind, and the next save detects the dead holder (pid
+  liveness, then age) and reclaims it instead of deadlocking the warm
+  run;
 * entries created since construction are exposed via
   :meth:`SynthesisCache.new_entries` so process-pool workers can ship
   them back to the parent, which merges and saves once — workers never
@@ -37,7 +42,9 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
 from repro.ir import nodes as ir
+from repro.cache.artifacts import ArtifactStore
 from repro.cache.fingerprint import CODE_VERSION, fingerprint_synthesis
+from repro.cache.locks import FileLock, LockTimeout
 from repro.cache.serialize import CachePayloadError, result_from_payload, result_to_payload
 
 _STATUS_VERIFIED = "verified"
@@ -82,6 +89,13 @@ class SynthesisCache:
         Also record definitive synthesis failures so warm runs skip the
         (typically slowest) exhausted-space kernels.  Set to ``False``
         to re-attempt failed kernels on every run.
+    artifact_dir:
+        Optional directory for the compiled-artifact side store
+        (:class:`~repro.cache.artifacts.ArtifactStore`): native-backend
+        shared objects content-addressed next to the synthesis
+        outcomes, so a warm run loads ``.so`` files instead of
+        re-compiling.  ``None`` (the default) keeps native compilation
+        per-process only.
     """
 
     def __init__(
@@ -90,11 +104,15 @@ class SynthesisCache:
         code_version: str = CODE_VERSION,
         autosave: bool = True,
         cache_failures: bool = True,
+        artifact_dir: "os.PathLike[str] | str | None" = None,
     ):
         self.path = Path(path) if path is not None else None
         self.code_version = code_version
         self.autosave = autosave
         self.cache_failures = cache_failures
+        self.artifacts: Optional[ArtifactStore] = (
+            ArtifactStore(artifact_dir) if artifact_dir is not None else None
+        )
         self.hits = 0
         self.misses = 0
         self._entries: Dict[str, Dict[str, Any]] = {}
@@ -140,32 +158,29 @@ class SynthesisCache:
         state, with our own entries winning any fingerprint collision.
         Without this, two processes sharing a store path would each
         rewrite the file from their private snapshot and the last
-        ``os.replace`` would silently drop the other's entries.  On
-        platforms with ``fcntl`` the read-merge-replace sequence runs
-        under an advisory lock so truly concurrent writers serialize;
-        elsewhere the merge alone still closes the common (non-racing)
-        interleavings.  ``merge=False`` writes exactly the in-memory
+        ``os.replace`` would silently drop the other's entries.  The
+        read-merge-replace sequence runs under a
+        :class:`~repro.cache.locks.FileLock` so truly concurrent
+        writers serialize; the lock reclaims itself when a previous
+        writer died between acquire and release (pid liveness + age),
+        so a crashed save can never deadlock later runs.  If the lock
+        still cannot be acquired within its timeout, the save proceeds
+        with the unlocked merge — the common (non-racing)
+        interleavings stay closed and availability wins over
+        strictness.  ``merge=False`` writes exactly the in-memory
         entries (used by :meth:`clear`, where resurrecting disk entries
         would defeat the point).
         """
         if self.path is None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        lock_handle = None
+        lock: Optional[FileLock] = None
         if merge:
+            lock = FileLock(str(self.path) + ".lock")
             try:
-                import fcntl
-
-                lock_handle = open(str(self.path) + ".lock", "a+")
-                try:
-                    fcntl.flock(lock_handle, fcntl.LOCK_EX)
-                except OSError:
-                    # flock unsupported (e.g. some NFS mounts): fall back
-                    # to the unlocked merge, without leaking the handle.
-                    lock_handle.close()
-                    lock_handle = None
-            except (ImportError, OSError):
-                lock_handle = None
+                lock.acquire()
+            except (LockTimeout, OSError):
+                lock = None
         try:
             if merge:
                 disk = self._read_disk_entries()
@@ -188,8 +203,8 @@ class SynthesisCache:
                     pass
                 raise
         finally:
-            if lock_handle is not None:
-                lock_handle.close()
+            if lock is not None:
+                lock.release()
 
     def clear(self) -> None:
         self._entries = {}

@@ -69,7 +69,7 @@ from repro.halide.loopir import (
 from repro.halide.schedule import Schedule, ScheduleError
 from repro.semantics.numeric import trunc_div, trunc_mod
 
-BACKENDS = ("codegen", "interp")
+BACKENDS = ("codegen", "interp", "native")
 
 
 # ---------------------------------------------------------------------------
@@ -555,6 +555,7 @@ def realize_scheduled(
     backend: str = "codegen",
     strict_bounds: bool = False,
     parallel_chunks: int = 8,
+    artifacts=None,
     _visiting: Tuple[int, ...] = (),
 ) -> np.ndarray:
     """Execute ``func`` over ``domain`` under a schedule.
@@ -563,11 +564,25 @@ def realize_scheduled(
     attached schedule); producer stages in a multi-stage pipeline run
     under their own attached schedules, or are substituted into their
     consumer when scheduled ``inline``.  ``backend`` selects the
-    tiled-NumPy interpreter (``"interp"``) or the generated-Python
-    ``compile()`` backend (``"codegen"``).  Results are bit-identical
-    to the schedule-blind :func:`repro.halide.executor.realize` for
-    every valid schedule and backend.
+    tiled-NumPy interpreter (``"interp"``), the generated-Python
+    ``compile()`` backend (``"codegen"``), or the compiled-C
+    :mod:`repro.native` backend (``"native"``; ``"auto"`` picks native
+    when a C toolchain is present and codegen otherwise).  Results are
+    bit-identical to the schedule-blind
+    :func:`repro.halide.executor.realize` for every valid schedule and
+    backend.
+
+    ``artifacts`` (an :class:`~repro.cache.artifacts.ArtifactStore`)
+    lets the native backend reuse compiled shared objects across
+    processes; without it, native builds are cached per process only.
+    A definition outside the native backend's bit-identical fragment
+    (e.g. transcendental calls) silently falls back to ``codegen`` —
+    the two are interchangeable by construction.
     """
+    if backend == "auto":
+        from repro.native.toolchain import resolve_backend
+
+        backend = resolve_backend(backend)
     if backend not in BACKENDS:
         raise HalideError(f"unknown loop-nest backend {backend!r} (choose from {BACKENDS})")
     input_origins = dict(input_origins or {})
@@ -584,6 +599,7 @@ def realize_scheduled(
             backend=backend,
             strict_bounds=strict_bounds,
             parallel_chunks=parallel_chunks,
+            artifacts=artifacts,
             _visiting=_visiting + (id(func),),
         )
 
@@ -600,5 +616,17 @@ def realize_scheduled(
         return execute_loop_nest(
             nest, domain, merged_inputs, merged_origins, params, strict_bounds
         )
+    if backend == "native":
+        from repro.native.csource import NativeUnsupportedError
+        from repro.native.dispatch import compile_nest_native
+
+        try:
+            native_runner = compile_nest_native(
+                nest, strict_bounds=strict_bounds, artifacts=artifacts
+            )
+        except NativeUnsupportedError:
+            pass  # outside the bit-identical C fragment: codegen instead
+        else:
+            return native_runner(domain, merged_inputs, merged_origins, params)
     runner = compile_loop_nest(nest, strict_bounds)
     return runner(domain, merged_inputs, merged_origins, params)

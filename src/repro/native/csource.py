@@ -1,0 +1,397 @@
+"""C code generation for lowered loop nests (the native backend's front half).
+
+:func:`emit_c_source` turns a :class:`~repro.halide.loopir.LoopNest`
+into one self-contained C translation unit exporting a single flat
+entry point::
+
+    int64_t repro_kernel_run(const int64_t* lo, const int64_t* hi,
+                             double* const* bufs,
+                             const int64_t* borig, const int64_t* bext,
+                             const double* params,
+                             double* out, int64_t* err);
+
+``lo``/``hi`` are the inclusive per-axis domain bounds, ``bufs`` the
+input buffers (float64, C-contiguous) in :attr:`CSource.image_names`
+order with their logical origins and extents flattened into
+``borig``/``bext``, ``params`` the scalar parameters in
+:attr:`CSource.param_names` order, and ``out`` the C-contiguous output
+buffer over the domain shape.  The return value is 0 on success; under
+``strict_bounds`` an out-of-range load stops execution, fills ``err``
+with ``(image index, dimension, offending buffer-relative coordinate)``
+and returns 1 — the dispatcher raises the same
+:class:`~repro.halide.executor.OutOfBoundsError` the Python backends
+raise.
+
+Bit-identity with the Python backends is by construction, not by luck:
+
+* the loop structure is the lowered nest itself — tiles, reordering,
+  unrolling and strips become the same traversal order the interpreter
+  walks (parallel chunking is order-preserving by design, so chunked
+  loops are emitted as their equivalent serial loops);
+* every per-cell operation is a single IEEE-754 double operation in
+  both backends (the expression *tree* is identical, and ``+ - * /``
+  are correctly rounded everywhere), with contraction and
+  reassociation disabled at compile time;
+* integer index arithmetic uses C's truncating ``/`` and ``%``, which
+  match the Fortran truncation semantics of
+  :func:`repro.semantics.numeric.trunc_div`/``trunc_mod`` exactly;
+* clamped (non-strict) loads clamp per coordinate exactly like
+  ``np.clip``.
+
+Only operations with a correctly-rounded (or exact) C twin are
+translated: ``+ - * /``, ``sqrt``, ``abs``, ``min``/``max``.
+Transcendentals (``exp``/``log``/``sin``/...) are *not* — libm and
+numpy may legally differ in the last ulp, which would break the bitwise
+differential contract — so such nests raise
+:class:`NativeUnsupportedError` and callers fall back to the
+generated-Python backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.halide.cppgen import cpp_double_literal
+from repro.halide.lang import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Func,
+    FuncRef,
+    HalideError,
+    ImageRef,
+    Param,
+    Var,
+)
+from repro.halide.loopir import (
+    BoundExpr,
+    Clamped,
+    ComputeSpan,
+    DomainHi,
+    DomainLo,
+    Loop,
+    LoopNest,
+    LoopVar,
+    Shifted,
+)
+from repro.halide.lower import _collect_images, _collect_params
+
+
+class NativeUnsupportedError(HalideError):
+    """The definition falls outside the bit-identical native fragment."""
+
+
+# Value-level calls with a correctly-rounded / exact C translation.
+# np.minimum/np.maximum propagate the *first* NaN operand; the helpers
+# in the preamble reproduce that (fmin/fmax would drop NaNs instead).
+_NATIVE_CALLS = {
+    "sqrt": "sqrt({0})",
+    "abs": "fabs({0})",
+    "min": "rk_min({0}, {1})",
+    "max": "rk_max({0}, {1})",
+}
+
+_PREAMBLE = """\
+#include <stdint.h>
+#include <math.h>
+
+static inline int64_t rk_imin(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t rk_imax(int64_t a, int64_t b) { return a > b ? a : b; }
+/* np.minimum/np.maximum semantics: the first NaN operand propagates. */
+static inline double rk_min(double a, double b) {
+    if (a != a) return a;
+    if (b != b) return b;
+    return a < b ? a : b;
+}
+static inline double rk_max(double a, double b) {
+    if (a != a) return a;
+    if (b != b) return b;
+    return a > b ? a : b;
+}
+"""
+
+ENTRY_SYMBOL = "repro_kernel_run"
+
+
+def native_supported(func: Func) -> bool:
+    """Can this Func's definition be translated bit-identically to C?"""
+    if func.definition is None:
+        return False
+    for node in func.definition.walk():
+        if isinstance(node, FuncRef):
+            return False
+        if isinstance(node, Call):
+            if node.func in {"min", "max", "mod"}:
+                continue  # min/max always; mod only valid in index position
+            if node.func not in _NATIVE_CALLS:
+                return False
+        if isinstance(node, BinOp) and node.op not in {"+", "-", "*", "/"}:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class CSource:
+    """One emitted C translation unit plus its calling convention."""
+
+    text: str
+    entry: str
+    dimensions: int
+    image_names: Tuple[str, ...]
+    image_ranks: Tuple[int, ...]
+    param_names: Tuple[str, ...]
+    strict_bounds: bool
+    kernel_name: str
+    schedule: str
+
+
+class _CEmitter:
+    def __init__(self, nest: LoopNest, strict_bounds: bool):
+        self.nest = nest
+        self.func = nest.func
+        self.strict = strict_bounds
+        self.lines: List[str] = []
+        self.temp_count = 0
+        self.images = _collect_images(self.func.definition)
+        self.params = _collect_params(self.func.definition)
+        self.image_index = {name: position for position, name in enumerate(self.images)}
+        # Sanitize loop-variable names: nest vars come from the DSL
+        # ("x", "y_t", ...) and are mapped to fresh C identifiers so no
+        # DSL name can collide with a C keyword or an emitter local.
+        self.var_names: Dict[str, str] = {}
+        leaf: Union[Loop, ComputeSpan] = nest.root
+        while isinstance(leaf, Loop):
+            self.var_names.setdefault(leaf.var, f"v{len(self.var_names)}")
+            leaf = leaf.body
+        self.span_axis = leaf.axis
+
+    def temp(self) -> str:
+        self.temp_count += 1
+        return f"t{self.temp_count}"
+
+    def emit(self, line: str, depth: int) -> None:
+        self.lines.append("    " * depth + line)
+
+    # -- symbolic bounds ----------------------------------------------------
+    def bound(self, bound: BoundExpr) -> str:
+        if isinstance(bound, DomainLo):
+            return f"lo[{bound.axis}]"
+        if isinstance(bound, DomainHi):
+            return f"hi[{bound.axis}]"
+        if isinstance(bound, LoopVar):
+            return self.var_names[bound.name]
+        if isinstance(bound, Shifted):
+            if bound.offset == 0:
+                return self.bound(bound.base)
+            sign = "+" if bound.offset >= 0 else "-"
+            return f"({self.bound(bound.base)} {sign} {abs(bound.offset)})"
+        if isinstance(bound, Clamped):
+            return f"rk_imin({self.bound(bound.left)}, {self.bound(bound.right)})"
+        raise HalideError(f"unknown bound expression {bound!r}")
+
+    # -- expressions --------------------------------------------------------
+    def emit_index(self, expr: Expr, ctx: Dict[str, Tuple[str, str]]) -> str:
+        """C source of an integer (int64) index expression."""
+        if isinstance(expr, Const):
+            return f"INT64_C({int(expr.value)})"
+        if isinstance(expr, Var):
+            if expr.name not in ctx:
+                raise HalideError(f"free variable {expr.name!r} in definition")
+            return ctx[expr.name][0]
+        if isinstance(expr, Param):
+            return f"pi{self.params.index(expr.name)}"
+        if isinstance(expr, BinOp):
+            left = self.emit_index(expr.left, ctx)
+            right = self.emit_index(expr.right, ctx)
+            if expr.op in {"+", "-", "*"}:
+                return f"({left} {expr.op} {right})"
+            if expr.op == "/":
+                # C int64 division truncates toward zero = Fortran semantics.
+                return f"({left} / {right})"
+            raise HalideError(f"unknown operator {expr.op!r} in index")
+        if isinstance(expr, Call) and expr.func in {"min", "max"} and len(expr.args) == 2:
+            left = self.emit_index(expr.args[0], ctx)
+            right = self.emit_index(expr.args[1], ctx)
+            fn = "rk_imin" if expr.func == "min" else "rk_imax"
+            return f"{fn}({left}, {right})"
+        if isinstance(expr, Call) and expr.func == "mod" and len(expr.args) == 2:
+            left = self.emit_index(expr.args[0], ctx)
+            right = self.emit_index(expr.args[1], ctx)
+            # C % has the sign of the dividend = Fortran mod semantics.
+            return f"({left} % {right})"
+        raise NativeUnsupportedError(f"unsupported index expression {expr!r}")
+
+    def emit_value(self, expr: Expr, depth: int, ctx: Dict[str, Tuple[str, str]]) -> str:
+        """Emit statements computing a double value; returns its source/temp."""
+        if isinstance(expr, Const):
+            return cpp_double_literal(float(expr.value))
+        if isinstance(expr, Var):
+            if expr.name not in ctx:
+                raise HalideError(f"free variable {expr.name!r} in definition")
+            return ctx[expr.name][1]
+        if isinstance(expr, Param):
+            return f"pv{self.params.index(expr.name)}"
+        if isinstance(expr, BinOp):
+            if expr.op not in {"+", "-", "*", "/"}:
+                raise NativeUnsupportedError(f"unknown operator {expr.op!r}")
+            left = self.emit_value(expr.left, depth, ctx)
+            right = self.emit_value(expr.right, depth, ctx)
+            out = self.temp()
+            self.emit(f"const double {out} = {left} {expr.op} {right};", depth)
+            return out
+        if isinstance(expr, Call):
+            template = _NATIVE_CALLS.get(expr.func)
+            if template is None:
+                raise NativeUnsupportedError(
+                    f"no bit-identical C translation for function {expr.func!r} "
+                    "(libm transcendentals may differ from numpy in the last ulp)"
+                )
+            args = [self.emit_value(a, depth, ctx) for a in expr.args]
+            out = self.temp()
+            self.emit(f"const double {out} = {template.format(*args)};", depth)
+            return out
+        if isinstance(expr, ImageRef):
+            return self._emit_load(expr, depth, ctx)
+        raise NativeUnsupportedError(f"cannot translate expression {expr!r}")
+
+    def _emit_load(self, ref: ImageRef, depth: int, ctx: Dict[str, Tuple[str, str]]) -> str:
+        position = self.image_index[ref.image.name]
+        rank = self.images[ref.image.name]
+        coords: List[str] = []
+        for dim, index in enumerate(ref.indices):
+            raw = self.emit_index(index, ctx)
+            coord = self.temp()
+            self.emit(f"int64_t {coord} = {raw} - o{position}_{dim};", depth)
+            extent = f"n{position}_{dim}"
+            if self.strict:
+                self.emit(f"if ({coord} < 0 || {coord} >= {extent}) {{", depth)
+                self.emit(f"err[0] = {position}; err[1] = {dim}; err[2] = {coord};", depth + 1)
+                self.emit("return 1;", depth + 1)
+                self.emit("}", depth)
+            else:
+                self.emit(f"if ({coord} < 0) {coord} = 0;", depth)
+                self.emit(f"else if ({coord} > {extent} - 1) {coord} = {extent} - 1;", depth)
+            coords.append(coord)
+        flat = coords[0]
+        for dim in range(1, rank):
+            flat = f"({flat} * n{position}_{dim} + {coords[dim]})"
+        out = self.temp()
+        self.emit(f"const double {out} = b{position}[{flat}];", depth)
+        return out
+
+    # -- loop structure -----------------------------------------------------
+    def emit_kernel(self) -> None:
+        dims = self.func.dimensions
+        self.emit(f"/* kernel {self.func.name}: [{self.nest.schedule.describe()}] */", 0)
+        self.emit(
+            f"int64_t {ENTRY_SYMBOL}(const int64_t* lo, const int64_t* hi,", 0
+        )
+        self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
+        self.emit("const double* params, double* out, int64_t* err)", 5)
+        self.emit("{", 0)
+        self.emit("(void)bufs; (void)borig; (void)bext; (void)params; (void)err;", 1)
+        for axis in range(dims):
+            self.emit(f"const int64_t e{axis} = hi[{axis}] - lo[{axis}] + 1;", 1)
+            self.emit(f"(void)e{axis};", 1)
+        flat_pos = 0
+        for position, (name, rank) in enumerate(self.images.items()):
+            self.emit(f"double* const b{position} = bufs[{position}];  /* {name} */", 1)
+            for dim in range(rank):
+                self.emit(f"const int64_t o{position}_{dim} = borig[{flat_pos}];", 1)
+                self.emit(f"const int64_t n{position}_{dim} = bext[{flat_pos}];", 1)
+                self.emit(f"(void)n{position}_{dim};", 1)
+                flat_pos += 1
+        for position, name in enumerate(self.params):
+            self.emit(f"const double pv{position} = params[{position}];  /* {name} */", 1)
+            self.emit(f"const int64_t pi{position} = (int64_t)params[{position}];", 1)
+            self.emit(f"(void)pv{position}; (void)pi{position};", 1)
+        self._emit_node(self.nest.root, 1, {})
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+
+    def _emit_node(self, node: Union[Loop, ComputeSpan], depth: int, coords: Dict[int, str]) -> None:
+        if isinstance(node, ComputeSpan):
+            raise HalideError("loop nest has no loops")
+        lower = self.bound(node.lower)
+        upper = self.bound(node.upper)
+        var = self.var_names[node.var]
+        # Parallel chunking is step-aligned and order-preserving
+        # (chunk_ranges covers the exact serial sequence), so the chunked
+        # loop and its serial equivalent compute identical results; emit
+        # the serial form.
+        self.emit(
+            f"for (int64_t {var} = {lower}; {var} <= {upper}; {var} += {node.step}) {{",
+            depth,
+        )
+        if isinstance(node.body, ComputeSpan):
+            self._emit_band(node, node.body, depth + 1, coords)
+        else:
+            new_coords = dict(coords)
+            new_coords[node.axis] = var
+            self._emit_node(node.body, depth + 1, new_coords)
+        self.emit("}", depth)
+
+    def _emit_band(self, strip: Loop, span: ComputeSpan, depth: int, coords: Dict[int, str]) -> None:
+        """The innermost band: ``unroll`` consecutive spans of ``width``."""
+        strip_var = self.var_names[strip.var]
+        if span.width == 1 and span.unroll == 1:
+            self._emit_point(span, strip_var, depth, coords)
+            return
+        band_hi = self.temp()
+        self.emit(f"const int64_t {band_hi} = {self.bound(span.upper)};", depth)
+        self.emit(f"for (int64_t k = 0; k < {span.unroll}; k++) {{", depth)
+        self.emit(f"const int64_t s = {strip_var} + k * {span.width};", depth + 1)
+        self.emit(f"if (s > {band_hi}) break;", depth + 1)
+        self.emit(f"const int64_t e = rk_imin(s + {span.width} - 1, {band_hi});", depth + 1)
+        self.emit("for (int64_t p = s; p <= e; p++) {", depth + 1)
+        self._emit_point(span, "p", depth + 2, coords)
+        self.emit("}", depth + 1)
+        self.emit("}", depth)
+
+    def _emit_point(self, span: ComputeSpan, point_src: str, depth: int, coords: Dict[int, str]) -> None:
+        ctx: Dict[str, Tuple[str, str]] = {}
+        for axis, var in enumerate(self.func.vars):
+            if axis == span.axis:
+                ctx[var.name] = (point_src, f"(double){point_src}")
+            else:
+                src = coords[axis]
+                ctx[var.name] = (src, f"(double){src}")
+        value = self.emit_value(self.func.definition, depth, ctx)
+        parts: List[str] = []
+        for axis in range(self.func.dimensions):
+            src = point_src if axis == span.axis else coords[axis]
+            parts.append(f"({src} - lo[{axis}])")
+        flat = parts[0]
+        for axis in range(1, self.func.dimensions):
+            flat = f"({flat} * e{axis} + {parts[axis]})"
+        self.emit(f"out[{flat}] = {value};", depth)
+
+
+def emit_c_source(nest: LoopNest, strict_bounds: bool = False) -> CSource:
+    """Emit the C translation unit for one lowered loop nest.
+
+    Raises :class:`NativeUnsupportedError` when the definition uses an
+    operation without a bit-identical C twin (callers fall back to the
+    generated-Python backend).
+    """
+    if not native_supported(nest.func):
+        raise NativeUnsupportedError(
+            f"Func {nest.func.name!r} uses operations outside the "
+            "bit-identical native fragment"
+        )
+    emitter = _CEmitter(nest, strict_bounds)
+    emitter.emit_kernel()
+    text = _PREAMBLE + "\n" + "\n".join(emitter.lines) + "\n"
+    return CSource(
+        text=text,
+        entry=ENTRY_SYMBOL,
+        dimensions=nest.func.dimensions,
+        image_names=tuple(emitter.images),
+        image_ranks=tuple(emitter.images[name] for name in emitter.images),
+        param_names=tuple(emitter.params),
+        strict_bounds=strict_bounds,
+        kernel_name=nest.func.name,
+        schedule=nest.schedule.describe(),
+    )

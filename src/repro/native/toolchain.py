@@ -1,0 +1,131 @@
+"""System C toolchain discovery and floating-point-strict compilation.
+
+The native backend's contract is *bitwise* equality with the Python
+backends, so the compiler must not be allowed to contract, reassociate
+or otherwise "optimize" floating-point arithmetic: every emitted
+operation must execute as one correctly-rounded IEEE-754 double
+operation.  :data:`STRICT_FLAGS` pins that down (``-fno-fast-math
+-ffp-contract=off``) on top of a plain ``-O2 -fPIC -shared`` build.
+
+Discovery order: ``$REPRO_CC`` (explicit override, e.g. in CI), then
+``cc``, ``gcc``, ``clang`` on ``$PATH``.  A toolchain's
+:meth:`~Toolchain.fingerprint` — compiler path, reported version line
+and flag tuple — is part of every artifact's content address, so a
+compiler upgrade naturally invalidates cached shared objects.
+
+``find_toolchain`` is memoised per process: probing runs ``cc
+--version`` once, not once per kernel.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.halide.lang import HalideError
+
+# One correctly-rounded IEEE double op per emitted op: no fast-math
+# value games, no fused multiply-add contraction.
+STRICT_FLAGS: Tuple[str, ...] = (
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-fno-fast-math",
+    "-ffp-contract=off",
+)
+
+
+class ToolchainError(HalideError):
+    """No usable C compiler, or a compilation failed."""
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """One probed C compiler plus the flag set used for every build."""
+
+    compiler: str
+    version: str
+    flags: Tuple[str, ...] = field(default=STRICT_FLAGS)
+
+    def fingerprint(self) -> str:
+        """Identity string folded into every artifact's content address."""
+        return f"{self.compiler}|{self.version}|{' '.join(self.flags)}"
+
+    def compile(self, source_path: "os.PathLike[str] | str", output_path: "os.PathLike[str] | str") -> None:
+        """Compile one C file into a shared object (raises on failure)."""
+        command = [self.compiler, *self.flags, "-o", str(output_path), str(source_path), "-lm"]
+        try:
+            proc = subprocess.run(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                timeout=120,
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise ToolchainError(f"failed to run {self.compiler!r}: {exc}") from exc
+        if proc.returncode != 0:
+            output = proc.stdout.decode("utf-8", "replace").strip()
+            raise ToolchainError(
+                f"{self.compiler} exited with status {proc.returncode}:\n{output}"
+            )
+
+
+def _probe(command: str) -> Optional[Toolchain]:
+    """Build a Toolchain from one candidate compiler command, if usable."""
+    path = shutil.which(command)
+    if path is None:
+        return None
+    try:
+        proc = subprocess.run(
+            [path, "--version"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=15,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    version = proc.stdout.decode("utf-8", "replace").splitlines()
+    return Toolchain(compiler=path, version=version[0].strip() if version else "unknown")
+
+
+# Memoised probe result: (env override seen, toolchain-or-None).
+_PROBED: "dict[str, Optional[Toolchain]]" = {}
+
+
+def find_toolchain() -> Optional[Toolchain]:
+    """The system C toolchain, or ``None`` when no compiler is usable.
+
+    ``$REPRO_CC`` overrides discovery (and a broken override falls
+    through to the default candidates rather than silently disabling
+    native execution — CI sets it deliberately, so a typo should still
+    produce a working toolchain plus a visible fingerprint change).
+    """
+    override = os.environ.get("REPRO_CC", "")
+    memo_key = override or "<default>"
+    if memo_key in _PROBED:
+        return _PROBED[memo_key]
+    toolchain: Optional[Toolchain] = None
+    candidates = ([override] if override else []) + ["cc", "gcc", "clang"]
+    for candidate in candidates:
+        toolchain = _probe(candidate)
+        if toolchain is not None:
+            break
+    _PROBED[memo_key] = toolchain
+    return toolchain
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve ``"auto"`` to a concrete backend name.
+
+    ``"auto"`` means *native when a C toolchain is present, otherwise
+    the generated-Python backend*; concrete names pass through
+    unchanged.
+    """
+    if backend != "auto":
+        return backend
+    return "native" if find_toolchain() is not None else "codegen"

@@ -68,6 +68,15 @@ class PipelineOptions:
     reports its verification level ("proved" versus "verified (bounded
     N=k)").  Disabling it reproduces the prover-less pipeline
     byte-identically.
+
+    ``measure_backend`` accepts ``"codegen"``, ``"interp"``,
+    ``"native"`` (compiled C, see :mod:`repro.native`) and ``"auto"``
+    (native when a C toolchain is present).  ``artifact_dir``
+    optionally points the native backend at a shared compiled-artifact
+    directory so warm pipeline runs load cached ``.so`` files instead
+    of re-compiling; the :class:`MeasuredPerformance.backend` field
+    records the backend that actually ran (native falls back to
+    codegen when unavailable).
     """
 
     seed: int = 0
@@ -84,6 +93,7 @@ class PipelineOptions:
     measure_budget: int = 12
     measure_points: int = 9216
     measure_repeats: int = 1
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.compile_options = CompileOptions.coerce(self.compile_options)
@@ -401,6 +411,11 @@ class STNGPipeline:
             for image in func.inputs()
         }
         params = {param.name: float(rng.integers(1, 4)) for param in func.params()}
+        artifacts = None
+        if self.options.artifact_dir is not None:
+            from repro.cache.artifacts import ArtifactStore
+
+            artifacts = ArtifactStore(self.options.artifact_dir)
         objective = MeasuredObjective(
             func,
             domain,
@@ -408,6 +423,7 @@ class STNGPipeline:
             params=params,
             backend=self.options.measure_backend,
             repeats=self.options.measure_repeats,
+            artifacts=artifacts,
         )
         tuner = MultiArmedBanditTuner(
             ScheduleSpace(func.dimensions), objective, seed=self.options.seed
@@ -418,7 +434,7 @@ class STNGPipeline:
             tuned_seconds=result.best_cost,
             speedup=result.default_cost / max(result.best_cost, 1e-12),
             tuned_schedule=result.best_schedule.describe(),
-            backend=self.options.measure_backend,
+            backend=objective.effective_backend,
             evaluations=objective.evaluations,
             verified=objective.all_verified,
             schedule=result.best_schedule,

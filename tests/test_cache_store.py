@@ -243,3 +243,123 @@ class TestPipelineIntegration:
         )
         assert counted_synthesis["count"] == 1
         assert [report_signature(r) for r in warm] == [report_signature(r) for r in cold]
+
+
+class TestFileLock:
+    """Crash-reclaimable locking for the store's read-merge-replace save."""
+
+    def test_acquire_release_round_trip(self, tmp_path):
+        from repro.cache import FileLock
+
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.held
+            assert (tmp_path / "x.lock").exists()
+        assert not lock.held
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_held_lock_times_out(self, tmp_path):
+        from repro.cache import FileLock, LockTimeout
+
+        holder = FileLock(tmp_path / "x.lock")
+        holder.acquire()
+        try:
+            waiter = FileLock(tmp_path / "x.lock", timeout=0.2)
+            with pytest.raises(LockTimeout):
+                waiter.acquire()
+        finally:
+            holder.release()
+
+    def test_dead_holder_is_reclaimed(self, tmp_path):
+        import subprocess
+        import sys
+        import time
+
+        from repro.cache import FileLock
+
+        # A real, definitely-dead pid: spawn a process and wait for it.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        lock_path = tmp_path / "x.lock"
+        lock_path.write_text(f"{proc.pid} {time.time()}")
+        lock = FileLock(lock_path, timeout=5.0)
+        started = time.monotonic()
+        lock.acquire()  # reclaims instead of deadlocking
+        assert time.monotonic() - started < 2.0
+        lock.release()
+
+    def test_old_lock_from_live_pid_is_reclaimed(self, tmp_path):
+        import os
+        import time
+
+        from repro.cache import FileLock
+
+        lock_path = tmp_path / "x.lock"
+        # Our own (alive) pid, but acquired far beyond stale_after:
+        # covers pid reuse after a crash.
+        lock_path.write_text(f"{os.getpid()} {time.time() - 100.0}")
+        lock = FileLock(lock_path, timeout=5.0, stale_after=1.0)
+        lock.acquire()
+        lock.release()
+
+    def test_unparseable_lock_file_reclaimed_by_mtime(self, tmp_path):
+        import os
+        import time
+
+        from repro.cache import FileLock
+
+        lock_path = tmp_path / "x.lock"
+        lock_path.write_text("garbage")
+        old = time.time() - 100.0
+        os.utime(lock_path, (old, old))
+        lock = FileLock(lock_path, timeout=5.0, stale_after=1.0)
+        lock.acquire()
+        lock.release()
+
+    def test_save_reclaims_lock_of_killed_writer(self, tmp_path):
+        """A writer SIGKILLed mid-save must not wedge every later save."""
+        import os
+        import subprocess
+        import sys
+        import time
+
+        import repro.cache.locks as locks_mod
+
+        store_path = tmp_path / "store.json"
+        lock_path = tmp_path / "store.json.lock"
+        src_dir = os.path.dirname(os.path.dirname(os.path.dirname(locks_mod.__file__)))
+        # The victim acquires the store's save lock exactly as
+        # SynthesisCache.save does, announces it, then hangs as if it
+        # died between acquire and release.
+        victim = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; sys.path.insert(0, sys.argv[1])\n"
+                "from repro.cache.locks import FileLock\n"
+                "lock = FileLock(sys.argv[2]); lock.acquire()\n"
+                "print('HOLDING', flush=True)\n"
+                "import time; time.sleep(60)\n",
+                src_dir,
+                str(lock_path),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert victim.stdout.readline().strip() == "HOLDING"
+            victim.kill()
+            victim.wait()
+            assert lock_path.exists()  # the crash left the lock behind
+
+            cache = SynthesisCache(store_path, autosave=False)
+            cache.record_failure("fp-after-crash", "no strategy verified")
+            started = time.monotonic()
+            cache.save()  # must reclaim the dead holder's lock, not block
+            assert time.monotonic() - started < 5.0
+            assert not lock_path.exists()
+            reread = SynthesisCache(store_path)
+            assert reread.get("fp-after-crash") is not None
+        finally:
+            if victim.poll() is None:
+                victim.kill()

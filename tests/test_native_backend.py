@@ -1,0 +1,395 @@
+"""Tests for the native (compiled-C) execution backend.
+
+Covers: bit-identity of the native backend against *both* Python
+backends (the tiled-NumPy interpreter and the generated-Python codegen
+backend) over a ≥100-random-schedule sweep of the DSL stencils plus a
+Table-1 suite cross-section, strict-bounds parity, the
+content-addressed compiled-artifact cache (cold compiles, warm runs
+load with zero compiler invocations), toolchain resolution, and the
+graceful fallback to the generated-Python backend when native
+compilation is impossible.
+
+Everything that needs a C compiler is skip-marked; the fallback tests
+run everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotune import MeasuredObjective, ScheduleSpace
+from repro.backend.halidegen import postcondition_to_func
+from repro.cache import ArtifactStore, artifact_key
+from repro.frontend import identify_candidates, parse_source
+from repro.frontend.lowering import lower_candidate
+from repro.halide import (
+    Func,
+    HalideError,
+    ImageParam,
+    OutOfBoundsError,
+    Param,
+    Schedule,
+    Var,
+    compile_loop_nest,
+    execute_loop_nest,
+    lower,
+    realize,
+    realize_scheduled,
+)
+from repro.native import (
+    NativeUnsupportedError,
+    ToolchainError,
+    compile_nest_native,
+    emit_c_source,
+    find_toolchain,
+    native_supported,
+    resolve_backend,
+)
+from repro.perfmodel.workload import domain_for_points
+from repro.suites.registry import cases_for_suite, suite_names
+from repro.synthesis import synthesize_kernel
+
+needs_cc = pytest.mark.skipif(
+    find_toolchain() is None, reason="no usable C compiler on this machine"
+)
+
+
+def _cross2d():
+    x, y = Var("x"), Var("y")
+    b = ImageParam("b", 2)
+    f = Func("cross2d")
+    f[x, y] = b(x, y) + b(x - 1, y) + b(x + 1, y) + b(x, y - 1) + b(x, y + 1)
+    return f
+
+
+def _weighted2d():
+    x, y = Var("x"), Var("y")
+    b = ImageParam("b", 2)
+    c = ImageParam("c", 2)
+    w = Param("w")
+    f = Func("weighted2d")
+    f[x, y] = w * b(x - 1, y) + 0.25 * c(x, y - 1) + b(x, y) / 2.0
+    return f
+
+
+def _box3d():
+    x, y, z = Var("x"), Var("y"), Var("z")
+    b = ImageParam("b", 3)
+    f = Func("box3d")
+    expr = None
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                term = b(x + di, y + dj, z + dk)
+                weight = 1.0 if (di, dj, dk) == (0, 0, 0) else 0.5
+                term = weight * term
+                expr = term if expr is None else expr + term
+    f[x, y, z] = expr
+    return f
+
+
+def _blur1d():
+    x = Var("x")
+    b = ImageParam("b", 1)
+    f = Func("blur1d")
+    f[x] = (b(x - 1) + b(x) + b(x + 1)) / 3.0
+    return f
+
+
+FUNC_BUILDERS = {
+    "cross2d": _cross2d,
+    "weighted2d": _weighted2d,
+    "box3d": _box3d,
+    "blur1d": _blur1d,
+}
+
+DOMAINS = {
+    "cross2d": [(1, 12), (-2, 7)],
+    "weighted2d": [(0, 9), (1, 8)],
+    "box3d": [(1, 6), (1, 5), (0, 4)],
+    "blur1d": [(-3, 20)],
+}
+
+
+def _inputs_for(func, domain, seed, margin=2):
+    rng = np.random.default_rng(seed)
+    lows = [lo for lo, _ in domain]
+    extents = [hi - lo + 1 for lo, hi in domain]
+    inputs = {}
+    origins = {}
+    for image in func.inputs():
+        shape = tuple(
+            extents[dim] + 2 * margin if dim < len(extents) else 8
+            for dim in range(image.dimensions)
+        )
+        inputs[image.name] = rng.normal(size=shape)
+        origins[image.name] = tuple(
+            lows[dim] - margin if dim < len(extents) else 0
+            for dim in range(image.dimensions)
+        )
+    params = {param.name: float(rng.integers(1, 5)) for param in func.params()}
+    return inputs, origins, params
+
+
+@needs_cc
+class TestNativeBitIdentity:
+    """Native output must equal both Python backends bit-for-bit."""
+
+    SCHEDULES_PER_FUNC = 30  # 4 funcs × 30 = 120 random schedules
+
+    def test_random_schedule_sweep(self):
+        total = 0
+        for name, build in FUNC_BUILDERS.items():
+            func = build()
+            domain = DOMAINS[name]
+            inputs, origins, params = _inputs_for(func, domain, seed=17)
+            reference = realize(func, domain, inputs, origins, params)
+            space = ScheduleSpace(func.dimensions)
+            for schedule in space.sample_schedules(self.SCHEDULES_PER_FUNC, seed=23):
+                nest = lower(func, schedule)
+                interp = execute_loop_nest(nest, domain, inputs, origins, params)
+                codegen = compile_loop_nest(nest)(domain, inputs, origins, params)
+                native = compile_nest_native(nest)(domain, inputs, origins, params)
+                label = f"{name} [{schedule.describe()}]"
+                assert native.tobytes() == reference.tobytes(), label
+                assert native.tobytes() == interp.tobytes(), label
+                assert native.tobytes() == codegen.tobytes(), label
+                total += 1
+        assert total >= 100
+
+    def test_table1_suite_cross_section(self):
+        """Lifted suite stencils execute bit-identically on the native path."""
+        from repro.backend.halidegen import HalideGenerationError
+
+        checked = 0
+        for suite in suite_names():
+            if checked >= 3:
+                break
+            cases = [c for c in cases_for_suite(suite) if c.expect_translated]
+            for case in cases[:1]:
+                kernel = lower_candidate(
+                    identify_candidates(parse_source(case.source)).candidates[0]
+                )
+                result = synthesize_kernel(kernel, seed=0, verifier_environments=2)
+                try:
+                    generated = postcondition_to_func(result.post)
+                except HalideGenerationError:
+                    continue
+                for stencil in generated[:1]:
+                    func = stencil.func
+                    if not native_supported(func):
+                        continue
+                    domain = domain_for_points(func.dimensions, 512)
+                    inputs, origins, params = _inputs_for(func, domain, seed=5, margin=3)
+                    reference = realize(func, domain, inputs, origins, params)
+                    for schedule in ScheduleSpace(func.dimensions).sample_schedules(8, seed=11):
+                        nest = lower(func, schedule)
+                        native = compile_nest_native(nest)(domain, inputs, origins, params)
+                        assert native.tobytes() == reference.tobytes(), (
+                            f"{suite}/{case.name} [{schedule.describe()}]"
+                        )
+                    checked += 1
+        assert checked >= 3
+
+    def test_realize_scheduled_native_backend(self):
+        func = _weighted2d()
+        domain = DOMAINS["weighted2d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=3)
+        reference = realize(func, domain, inputs, origins, params)
+        out = realize_scheduled(
+            func, domain, inputs, origins, params,
+            schedule=Schedule(tile_sizes=(4, 4), vector_width=4),
+            backend="native",
+        )
+        assert out.tobytes() == reference.tobytes()
+
+    def test_strict_bounds_identical_when_in_bounds(self):
+        func = _cross2d()
+        domain = DOMAINS["cross2d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=9)
+        nest = lower(func, Schedule(vector_width=2, unroll=2))
+        loose = compile_nest_native(nest)(domain, inputs, origins, params)
+        strict = compile_nest_native(nest, strict_bounds=True)(
+            domain, inputs, origins, params
+        )
+        assert loose.tobytes() == strict.tobytes()
+
+    def test_strict_bounds_raises_matching_message(self):
+        func = _blur1d()
+        domain = [(0, 9)]
+        inputs = {"b": np.random.default_rng(0).normal(size=(10,))}  # b(x-1) underflows
+        nest = lower(func, Schedule())
+        with pytest.raises(OutOfBoundsError) as native_err:
+            compile_nest_native(nest, strict_bounds=True)(domain, inputs)
+        with pytest.raises(OutOfBoundsError) as python_err:
+            compile_loop_nest(nest, strict_bounds=True)(domain, inputs)
+        assert str(native_err.value) == str(python_err.value)
+
+    def test_missing_buffer_and_param_messages_match_codegen(self):
+        func = _weighted2d()
+        domain = DOMAINS["weighted2d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=4)
+        nest = lower(func, Schedule())
+        native = compile_nest_native(nest)
+        codegen = compile_loop_nest(nest)
+        partial = {"b": inputs["b"]}
+        with pytest.raises(HalideError) as native_err:
+            native(domain, partial, origins, params)
+        with pytest.raises(HalideError) as codegen_err:
+            codegen(domain, partial, origins, params)
+        assert str(native_err.value) == str(codegen_err.value)
+        with pytest.raises(HalideError) as native_err:
+            native(domain, inputs, origins, {})
+        with pytest.raises(HalideError) as codegen_err:
+            codegen(domain, inputs, origins, {})
+        assert str(native_err.value) == str(codegen_err.value)
+
+
+@needs_cc
+class TestArtifactCache:
+    def test_cold_compiles_then_warm_loads(self, tmp_path):
+        func = _blur1d()
+        domain = DOMAINS["blur1d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=1)
+        schedule = Schedule(tile_sizes=(6,), vector_width=2)
+
+        cold = ArtifactStore(tmp_path / "artifacts")
+        out_cold = compile_nest_native(lower(func, schedule), artifacts=cold)(
+            domain, inputs, origins, params
+        )
+        assert cold.compiles == 1
+        assert cold.misses == 1 and cold.hits == 0
+        assert cold.entry_count() == 1
+        assert cold.compile_seconds > 0
+
+        # A fresh store on the same directory (≈ a new process): the
+        # artifact is found by content address and *nothing* compiles.
+        warm = ArtifactStore(tmp_path / "artifacts")
+        out_warm = compile_nest_native(lower(func, schedule), artifacts=warm)(
+            domain, inputs, origins, params
+        )
+        assert warm.compiles == 0
+        assert warm.hits == 1 and warm.misses == 0
+        assert out_cold.tobytes() == out_warm.tobytes()
+
+    def test_key_covers_schedule_and_strictness(self):
+        func = _blur1d()
+        toolchain = find_toolchain()
+        plain = emit_c_source(lower(func, Schedule()))
+        tiled = emit_c_source(lower(func, Schedule(tile_sizes=(4,))))
+        strict = emit_c_source(lower(func, Schedule()), strict_bounds=True)
+        keys = {
+            artifact_key(source.text, toolchain.fingerprint())
+            for source in (plain, tiled, strict)
+        }
+        assert len(keys) == 3
+        # ... and the toolchain fingerprint is part of the address too.
+        assert artifact_key(plain.text, "other-compiler") not in keys
+
+    def test_stats_shape(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        stats = store.stats()
+        assert set(stats) == {
+            "directory", "entries", "bytes",
+            "artifact_hits", "artifact_misses", "compiles", "compile_seconds",
+        }
+
+
+class TestFallback:
+    """Native must degrade to codegen, never to a wrong answer."""
+
+    def test_transcendental_definition_is_unsupported(self):
+        from repro.halide.lang import Call
+
+        x = Var("x")
+        b = ImageParam("b", 1)
+        f = Func("expy")
+        f[x] = Call("exp", (b(x),))
+        assert not native_supported(f)
+        with pytest.raises(NativeUnsupportedError):
+            emit_c_source(lower(f, Schedule()))
+
+    def test_realize_scheduled_falls_back_for_unsupported(self):
+        from repro.halide.lang import Call
+
+        x = Var("x")
+        b = ImageParam("b", 1)
+        f = Func("expy")
+        f[x] = Call("exp", (b(x),))
+        domain = [(0, 7)]
+        inputs = {"b": np.random.default_rng(2).normal(size=(12,))}
+        origins = {"b": (-2,)}
+        reference = realize(f, domain, inputs, origins)
+        out = realize_scheduled(
+            f, domain, inputs, origins, backend="native", schedule=Schedule()
+        )
+        assert out.tobytes() == reference.tobytes()
+
+    def test_supported_fragment_includes_sqrt_abs_min_max(self):
+        from repro.halide.lang import Call
+
+        x = Var("x")
+        b = ImageParam("b", 1)
+        f = Func("mix")
+        f[x] = Call("sqrt", (Call("abs", (b(x),)),)) + Call(
+            "max", (b(x - 1), Call("min", (b(x), b(x + 1))))
+        )
+        assert native_supported(f)
+        if find_toolchain() is not None:
+            domain = [(0, 15)]
+            inputs = {"b": np.random.default_rng(3).normal(size=(20,))}
+            origins = {"b": (-2,)}
+            reference = realize(f, domain, inputs, origins)
+            out = compile_nest_native(lower(f, Schedule(vector_width=4)))(
+                domain, inputs, origins
+            )
+            assert out.tobytes() == reference.tobytes()
+
+    def test_no_toolchain_resolves_auto_to_codegen(self, monkeypatch):
+        import repro.native.toolchain as toolchain_mod
+
+        monkeypatch.setattr(toolchain_mod, "find_toolchain", lambda: None)
+        assert resolve_backend("auto") == "codegen"
+        assert resolve_backend("codegen") == "codegen"
+        assert resolve_backend("interp") == "interp"
+
+    def test_no_toolchain_compile_raises_and_objective_falls_back(self, monkeypatch):
+        import repro.native.dispatch as dispatch_mod
+
+        monkeypatch.setattr(dispatch_mod, "find_toolchain", lambda: None)
+        func = _blur1d()
+        nest = lower(func, Schedule())
+        with pytest.raises(ToolchainError):
+            compile_nest_native(nest)
+        domain = DOMAINS["blur1d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=6)
+        objective = MeasuredObjective(
+            func, domain, inputs, origins, params, backend="native"
+        )
+        cost = objective(Schedule.default())
+        assert cost > 0 and objective.all_verified
+        assert objective.effective_backend == "codegen"
+
+
+@needs_cc
+class TestNativeMeasurement:
+    def test_measured_objective_native_backend(self):
+        func = _cross2d()
+        domain = [(1, 24), (1, 24)]
+        inputs, origins, params = _inputs_for(func, domain, seed=8)
+        objective = MeasuredObjective(
+            func, domain, inputs, origins, params, backend="native", repeats=2
+        )
+        cost = objective(Schedule(tile_sizes=(8, 8)))
+        assert cost > 0 and objective.all_verified
+        assert objective.effective_backend == "native"
+
+    def test_auto_backend_resolves_to_native(self):
+        assert resolve_backend("auto") == "native"
+        func = _blur1d()
+        domain = DOMAINS["blur1d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=12)
+        objective = MeasuredObjective(
+            func, domain, inputs, origins, params, backend="auto"
+        )
+        objective(Schedule.default())
+        assert objective.effective_backend == "native"

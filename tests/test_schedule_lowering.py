@@ -500,6 +500,52 @@ class TestMeasuredAutotune:
         assert len(objective.history) == 8
         assert all(m.seconds > 0 for m in objective.history)
 
+    def test_warmup_discards_first_call_costs(self):
+        """Regression: the first call of a fresh nest used to be timed.
+
+        First-call costs (allocator warm-up, dlopen/page faults on the
+        native backend) are not steady state; with ``warmup=0`` they
+        land inside the min-of-repeats window and bias the tuner
+        against whichever schedule is evaluated first.  The default
+        ``warmup=1`` must soak them up.
+        """
+        import time as time_mod
+
+        func = _blur1d()
+        domain = [(0, 15)]
+        inputs, origins, params = _inputs_for(func, domain, seed=3)
+
+        def make_objective(warmup):
+            # repeats=1 (the default) is where the bug bites: the only
+            # timed run *is* the first call, so min-of-repeats can't
+            # mask the one-time cost.
+            objective = MeasuredObjective(
+                func, domain, inputs, origins, params,
+                repeats=1, warmup=warmup, differential=True,
+            )
+            real_runner_factory = objective._runner
+
+            def slow_first_runner(schedule):
+                real = real_runner_factory(schedule)
+                state = {"first": True}
+
+                def run():
+                    if state["first"]:
+                        state["first"] = False
+                        time_mod.sleep(0.05)  # the one-time first-call cost
+                    return real()
+
+                return run
+
+            objective._runner = slow_first_runner
+            return objective
+
+        biased = make_objective(warmup=0).measure(Schedule.default())
+        assert biased.seconds >= 0.05  # the bug: first-call cost leaks in
+        steady = make_objective(warmup=1).measure(Schedule.default())
+        assert steady.seconds < 0.05  # warm-up run absorbed it
+        assert steady.verified
+
     def test_measured_objective_interp_backend(self):
         func = _blur1d()
         domain = [(0, 40)]
