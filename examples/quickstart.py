@@ -20,7 +20,10 @@ execute) see docs/application_translation.md and
 ``examples/lift_cloverleaf.py``.  Scheduled execution here uses the
 Python backends; when a C toolchain is present the same nests can run
 through the native compiled-C backend with a content-addressed
-artifact cache — see docs/native_execution.md.
+artifact cache — see docs/native_execution.md.  Batch runs over whole
+suites are fault-tolerant — worker crashes, hangs and corrupted caches
+are retried, quarantined or degraded rather than fatal — see
+docs/fault_tolerance.md.
 """
 
 from __future__ import annotations

@@ -9,6 +9,15 @@ when one is supplied — and package the result as an
 via the backend), Fortran glue (from ``gluegen``), and a manifest
 recording spans, outcomes and verification levels.  The bundle is what
 the differential executor (:mod:`repro.application.execute`) runs.
+
+Graceful degradation: a site whose lift *crashes*, hangs past the
+scheduler deadline or exhausts its retry budget does not abort the
+translation — it demotes to an interpreted fallback (``kind:
+"lift-failure"`` in the manifest, with the classified reason), exactly
+like a site the scanner rejected up front.  Whole-application
+translation therefore always completes, and the resulting bundle still
+passes :func:`~repro.application.execute.differential_check` bitwise,
+because fallback sites execute the original Fortran semantics.
 """
 
 from __future__ import annotations
@@ -24,10 +33,19 @@ from repro.backend.gluegen import bound_to_fortran
 from repro.frontend.ast import Program
 from repro.frontend.parser import parse_source
 from repro.halide.schedule import Schedule
+from repro.pipeline.faults import (
+    CAUSE_EXCEPTION,
+    FaultPolicy,
+    JobAttempt,
+    JobFailure,
+    failure_report,
+    format_traceback,
+)
 from repro.pipeline.report import verification_level_counts
 from repro.pipeline.scheduler import BatchScheduler, KernelJob
-from repro.pipeline.stng import KernelReport, PipelineOptions, STNGPipeline
+from repro.pipeline.stng import KernelOutcome, KernelReport, PipelineOptions, STNGPipeline
 from repro.suites.apps import MiniApp
+from repro.testing import faultinject
 
 
 @dataclass
@@ -61,10 +79,18 @@ class TranslatedKernel:
 
 @dataclass
 class FallbackSite:
-    """A loop site the translated program interprets instead of substituting."""
+    """A loop site the translated program interprets instead of substituting.
+
+    ``kind`` distinguishes *why* the site degraded: ``"unliftable"``
+    (the scanner rejected it up front), ``"untranslated"`` (lifting ran
+    but produced no verified summary), or ``"lift-failure"`` (the lift
+    itself crashed, hung, or exhausted its fault-policy retries — the
+    site is semantically fine, the infrastructure failed).
+    """
 
     site: LoopSite
     reason: str
+    kind: str = "unliftable"
 
 
 @dataclass
@@ -128,6 +154,7 @@ class ApplicationBundle:
                 "procedure": fb.site.procedure,
                 "span": [fb.site.start, fb.site.end],
                 "reason": fb.reason,
+                "kind": fb.kind,
             }
             for fb in self.fallbacks
         ]
@@ -173,6 +200,7 @@ def translate_application(
     pool_size: int = 1,
     driver: Optional[str] = None,
     name: Optional[str] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> ApplicationBundle:
     """Translate a whole program: scan, lift everything, bundle.
 
@@ -181,6 +209,10 @@ def translate_application(
     lifts over the batch scheduler's process pool; either way every
     lift goes through ``cache`` when one is supplied, so a warm re-run
     of the same application performs no synthesis at all.
+    ``fault_policy`` governs crash/hang containment (see
+    :class:`~repro.pipeline.faults.FaultPolicy`); a site whose lift
+    fails terminally degrades to an interpreted fallback rather than
+    aborting the translation.
     """
     started = time.perf_counter()
     if isinstance(app, MiniApp):
@@ -201,7 +233,9 @@ def translate_application(
     liftable = scan.liftable_sites
 
     if pool_size > 1:
-        scheduler = BatchScheduler(options, pool_size=pool_size, cache=cache)
+        scheduler = BatchScheduler(
+            options, pool_size=pool_size, cache=cache, fault_policy=fault_policy
+        )
         jobs = [
             KernelJob(index=index, kernel=site.kernel)
             for index, site in enumerate(liftable)
@@ -227,7 +261,12 @@ def translate_application(
             bundle.translated.append(TranslatedKernel(site=site, report=report))
         else:
             reason = report.failure_reason or "no generated stencils"
-            bundle.fallbacks.append(FallbackSite(site=site, reason=reason))
+            kind = (
+                "lift-failure"
+                if report.outcome is KernelOutcome.LIFT_FAILED
+                else "untranslated"
+            )
+            bundle.fallbacks.append(FallbackSite(site=site, reason=reason, kind=kind))
     for site in scan.fallback_sites:
         bundle.fallbacks.append(FallbackSite(site=site, reason="; ".join(site.reasons)))
     bundle.translate_seconds = time.perf_counter() - started
@@ -235,15 +274,36 @@ def translate_application(
 
 
 def _lift_sequential(sites: List[LoopSite], options: PipelineOptions, cache):
-    """In-process lift of every liftable site (no pool start-up cost)."""
+    """In-process lift of every liftable site (no pool start-up cost).
+
+    A site whose lift raises is contained: it yields a ``LIFT_FAILED``
+    report (one attempt — there is no retry budget in-process, the
+    failure is deterministic) and the remaining sites still lift.  The
+    cache saves in ``finally`` so completed sites' entries survive even
+    a failure that propagates (e.g. ``KeyboardInterrupt``).
+    """
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
     pipeline = STNGPipeline(options, cache=cache)
     reports: List[KernelReport] = []
-    for site in sites:
-        reports.append(pipeline.lift_kernel(site.kernel))
-    if cache is not None:
-        cache.save()
+    try:
+        for index, site in enumerate(sites):
+            kernel_name = getattr(site.kernel, "name", "")
+            try:
+                faultinject.fire("site-lift", kernel_name)
+                reports.append(pipeline.lift_kernel(site.kernel))
+            except Exception as exc:
+                attempt = JobAttempt(
+                    attempt=1,
+                    cause=CAUSE_EXCEPTION,
+                    message=str(exc) or type(exc).__name__,
+                    traceback=format_traceback(exc),
+                )
+                failure = JobFailure(index=index, name=kernel_name, attempts=(attempt,))
+                reports.append(failure_report(failure))
+    finally:
+        if cache is not None:
+            cache.save()
     hits = (cache.hits - hits_before) if cache is not None else 0
     misses = (cache.misses - misses_before) if cache is not None else 0
     return reports, hits, misses

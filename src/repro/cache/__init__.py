@@ -20,6 +20,7 @@ definitive failures) are persisted to a JSON store
 """
 
 from repro.cache.artifacts import ArtifactStore, artifact_key
+from repro.cache.integrity import CacheIntegrityWarning, quarantine_file, sha256_bytes
 from repro.cache.fingerprint import (
     CODE_VERSION,
     fingerprint_kernel,
@@ -32,6 +33,7 @@ from repro.cache.store import CachedOutcome, SynthesisCache
 __all__ = [
     "ArtifactStore",
     "CODE_VERSION",
+    "CacheIntegrityWarning",
     "CachedOutcome",
     "FileLock",
     "LockTimeout",
@@ -40,4 +42,6 @@ __all__ = [
     "fingerprint_kernel",
     "fingerprint_synthesis",
     "options_signature",
+    "quarantine_file",
+    "sha256_bytes",
 ]

@@ -10,11 +10,17 @@ re-lowering and re-compiling anything.
 
 Layout: one directory holding ``<key>.so`` plus a ``<key>.json``
 metadata sidecar (kernel name, schedule, source digest, compiler
-fingerprint, creation time).  Writers publish atomically
-(temp file + ``os.replace``) under a crash-reclaimable
-:class:`~repro.cache.locks.FileLock`, so concurrent processes sharing a
-store directory never observe half-written artifacts and a killed
-writer never wedges the store.
+fingerprint, creation time, and the SHA-256 of the published ``.so``
+bytes).  Writers publish atomically (temp file + ``os.replace``) under
+a crash-reclaimable :class:`~repro.cache.locks.FileLock`, so concurrent
+processes sharing a store directory never observe half-written
+artifacts and a killed writer never wedges the store.
+
+Integrity: loads verify the ``.so`` bytes against the digest recorded
+at publication.  A mismatch (truncation, bit rot, an injected fault)
+quarantines both files aside as ``*.corrupt-<n>`` with a
+:class:`~repro.cache.integrity.CacheIntegrityWarning` and reports a
+miss, so the caller recompiles instead of ``dlopen``\\ ing garbage.
 
 The store keeps per-instance counters (artifact hits/misses, compiles
 performed, compile seconds) which the benchmarks publish next to the
@@ -31,11 +37,14 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.cache.integrity import quarantine_file, sha256_bytes
 from repro.cache.locks import FileLock, LockTimeout
+from repro.testing import faultinject
 
 # Bump when the artifact layout or the generated-code ABI changes: old
 # artifacts become unreachable (new keys) rather than wrongly loaded.
-ARTIFACT_FORMAT = "native-artifact-1"
+# "2" added the mandatory sha256 integrity digest to the sidecar.
+ARTIFACT_FORMAT = "native-artifact-2"
 
 
 def artifact_key(source: str, toolchain_fingerprint: str) -> str:
@@ -82,10 +91,54 @@ class ArtifactStore:
     def so_path(self, key: str) -> Path:
         return self.directory / f"{key}.so"
 
-    def get(self, key: str) -> Optional[Path]:
-        """Path of the cached shared object for ``key``, or ``None``."""
+    def meta_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _verify(self, key: str) -> bool:
+        """Do the ``.so`` bytes still match the digest published with them?
+
+        ``False`` quarantines the artifact and its sidecar: a sidecar
+        that is missing, unparseable or digest-less is treated exactly
+        like a byte mismatch, because an artifact whose integrity cannot
+        be checked cannot be trusted either.
+        """
         path = self.so_path(key)
-        if path.is_file():
+        meta = self.meta_path(key)
+        expected: Optional[str] = None
+        try:
+            with open(meta, "r", encoding="utf-8") as handle:
+                sidecar = json.load(handle)
+            if isinstance(sidecar, dict):
+                expected = sidecar.get("sha256")
+        except (OSError, ValueError):
+            expected = None
+        actual: Optional[str] = None
+        if expected is not None:
+            try:
+                actual = sha256_bytes(path.read_bytes())
+            except OSError:
+                actual = None
+        if expected is not None and actual == expected:
+            return True
+        reason = (
+            f"artifact {key[:16]} digest mismatch"
+            if expected is not None
+            else f"artifact {key[:16]} has no integrity digest"
+        )
+        quarantine_file(path, reason)
+        if meta.is_file():
+            quarantine_file(meta, reason)
+        return False
+
+    def get(self, key: str) -> Optional[Path]:
+        """Path of the cached, integrity-verified shared object, or ``None``.
+
+        A truncated or bit-flipped artifact (or one missing its digest)
+        is quarantined and counted as a miss — the caller recompiles and
+        republishes, overwriting nothing.
+        """
+        path = self.so_path(key)
+        if path.is_file() and self._verify(key):
             self.hits += 1
             return path
         self.misses += 1
@@ -96,25 +149,31 @@ class ArtifactStore:
 
         The build itself happens outside the store (and outside the
         lock); publishing copies the file next to a metadata sidecar
-        with an atomic replace.  If another process published the same
-        key first, its artifact wins (the contents are identical by
-        construction).
+        carrying the SHA-256 of the published bytes, with atomic
+        replaces.  If another process published the same key first, its
+        artifact wins (the contents are identical by construction) —
+        but only after re-verifying it: a corrupt pre-existing artifact
+        is quarantined and replaced by this build.
         """
+        faultinject.fire("artifact-publish", key)
         target = self.so_path(key)
         self.directory.mkdir(parents=True, exist_ok=True)
+        built_bytes = Path(built_so).read_bytes()
+        digest = sha256_bytes(built_bytes)
         lock = FileLock(self.directory / ".lock", timeout=self.lock_timeout)
         try:
             lock.acquire()
         except LockTimeout:
             return Path(built_so)  # keep the private build; skip publishing
         try:
-            if target.is_file():
+            if target.is_file() and self._verify(key):
                 return target
             fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".so.tmp", dir=str(self.directory))
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    handle.write(Path(built_so).read_bytes())
+                    handle.write(built_bytes)
                 os.replace(tmp_name, target)
+                faultinject.corrupt_file("artifact-so", key, target)
             except OSError:
                 try:
                     os.unlink(tmp_name)
@@ -124,10 +183,11 @@ class ArtifactStore:
             sidecar = {
                 "format": ARTIFACT_FORMAT,
                 "created": time.time(),
-                "size": target.stat().st_size,
+                "size": len(built_bytes),
+                "sha256": digest,
             }
             sidecar.update(metadata or {})
-            meta_path = self.directory / f"{key}.json"
+            meta_path = self.meta_path(key)
             fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".json.tmp", dir=str(self.directory))
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(sidecar, handle, indent=2, sort_keys=True)

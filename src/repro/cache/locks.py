@@ -26,6 +26,8 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.testing import faultinject
+
 
 class LockTimeout(OSError):
     """Raised when a lock cannot be acquired within the timeout."""
@@ -119,6 +121,7 @@ class FileLock:
     def acquire(self) -> None:
         if self._held:
             raise RuntimeError(f"lock {self.path} is already held by this instance")
+        faultinject.fire("lock-acquire", str(self.path))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         deadline = time.monotonic() + self.timeout
         while True:
@@ -141,6 +144,7 @@ class FileLock:
             finally:
                 os.close(fd)
             self._held = True
+            faultinject.fire("lock-acquired", str(self.path))
             return
 
     def release(self) -> None:

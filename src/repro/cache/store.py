@@ -9,8 +9,12 @@ replay them without re-synthesizing.
 
 Robustness rules:
 
-* a missing, unreadable, or corrupted store file is treated as empty —
-  a warm run silently degrades to a cold one;
+* a missing or unreadable store file is treated as empty — a warm run
+  silently degrades to a cold one; a *corrupted* store file (torn
+  write, truncation, injected fault) is additionally quarantined aside
+  as ``<path>.corrupt-<n>`` with a
+  :class:`~repro.cache.integrity.CacheIntegrityWarning`, so the run
+  still degrades but the evidence survives for forensics;
 * the file carries the :data:`~repro.cache.fingerprint.CODE_VERSION` it
   was written with; a version mismatch discards every entry (explicit
   invalidation when templates/strategies change), while option changes
@@ -41,11 +45,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
+import warnings
+
 from repro.ir import nodes as ir
 from repro.cache.artifacts import ArtifactStore
 from repro.cache.fingerprint import CODE_VERSION, fingerprint_synthesis
+from repro.cache.integrity import CacheIntegrityWarning, quarantine_file
 from repro.cache.locks import FileLock, LockTimeout
 from repro.cache.serialize import CachePayloadError, result_from_payload, result_to_payload
+from repro.testing import faultinject
 
 _STATUS_VERIFIED = "verified"
 _STATUS_FAILURE = "failure"
@@ -105,11 +113,13 @@ class SynthesisCache:
         autosave: bool = True,
         cache_failures: bool = True,
         artifact_dir: "os.PathLike[str] | str | None" = None,
+        lock_timeout: float = 10.0,
     ):
         self.path = Path(path) if path is not None else None
         self.code_version = code_version
         self.autosave = autosave
         self.cache_failures = cache_failures
+        self.lock_timeout = lock_timeout
         self.artifacts: Optional[ArtifactStore] = (
             ArtifactStore(artifact_dir) if artifact_dir is not None else None
         )
@@ -124,7 +134,7 @@ class SynthesisCache:
     # Persistence
     # ------------------------------------------------------------------
     def _read_disk_entries(self) -> Dict[str, Dict[str, Any]]:
-        """Decode the backing file; corruption or version skew yields {}."""
+        """Decode the backing file; corruption quarantines, version skew yields {}."""
         assert self.path is not None
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
@@ -132,7 +142,8 @@ class SynthesisCache:
             if not isinstance(data, dict):
                 raise ValueError("store root is not an object")
             if data.get("version") != self.code_version:
-                # Templates/strategies changed since this store was written.
+                # Templates/strategies changed since this store was written;
+                # explicit invalidation, not corruption — no quarantine.
                 return {}
             entries = data.get("entries", {})
             if not isinstance(entries, dict):
@@ -142,7 +153,12 @@ class SynthesisCache:
                 for fp, entry in entries.items()
                 if isinstance(entry, dict) and entry.get("status") in (_STATUS_VERIFIED, _STATUS_FAILURE)
             }
-        except (OSError, ValueError) as _exc:  # ValueError covers JSONDecodeError
+        except OSError:
+            # Missing or unreadable file: plain cold start.
+            return {}
+        except ValueError as exc:  # covers JSONDecodeError
+            # Torn write or truncation: keep the evidence, degrade to cold.
+            quarantine_file(self.path, f"synthesis store corrupt ({exc})")
             return {}
 
     def _load(self) -> None:
@@ -164,10 +180,13 @@ class SynthesisCache:
         writers serialize; the lock reclaims itself when a previous
         writer died between acquire and release (pid liveness + age),
         so a crashed save can never deadlock later runs.  If the lock
-        still cannot be acquired within its timeout, the save proceeds
-        with the unlocked merge — the common (non-racing)
-        interleavings stay closed and availability wins over
-        strictness.  ``merge=False`` writes exactly the in-memory
+        still cannot be acquired within ``lock_timeout`` seconds — a
+        *live* holder is genuinely in there — the save degrades to an
+        in-memory-only merge: the disk entries are folded into this
+        instance but the file is left untouched (writing unlocked could
+        drop the live holder's entries), and a
+        :class:`~repro.cache.integrity.CacheIntegrityWarning` notes the
+        skipped write.  ``merge=False`` writes exactly the in-memory
         entries (used by :meth:`clear`, where resurrecting disk entries
         would defeat the point).
         """
@@ -176,11 +195,26 @@ class SynthesisCache:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         lock: Optional[FileLock] = None
         if merge:
-            lock = FileLock(str(self.path) + ".lock")
+            lock = FileLock(str(self.path) + ".lock", timeout=self.lock_timeout)
             try:
                 lock.acquire()
             except (LockTimeout, OSError):
-                lock = None
+                # A live writer holds the lock.  Fold its entries into
+                # memory and skip the write — results are preserved for
+                # this process, and the holder's file stays intact.
+                disk = self._read_disk_entries()
+                if disk:
+                    merged = dict(disk)
+                    merged.update(self._entries)
+                    self._entries = merged
+                warnings.warn(
+                    f"synthesis store lock busy: kept {len(self._entries)} "
+                    "entries in memory without writing "
+                    f"{self.path.name}",
+                    CacheIntegrityWarning,
+                    stacklevel=2,
+                )
+                return
         try:
             if merge:
                 disk = self._read_disk_entries()
@@ -196,6 +230,7 @@ class SynthesisCache:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(data, handle, sort_keys=True, separators=(",", ":"))
                 os.replace(tmp_name, self.path)
+                faultinject.corrupt_file("store-file", str(self.path), self.path)
             except OSError:
                 try:
                     os.unlink(tmp_name)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.halide.lang import HalideError
+from repro.testing import faultinject
 
 # One correctly-rounded IEEE double op per emitted op: no fast-math
 # value games, no fused multiply-add contraction.
@@ -56,6 +57,7 @@ class Toolchain:
 
     def compile(self, source_path: "os.PathLike[str] | str", output_path: "os.PathLike[str] | str") -> None:
         """Compile one C file into a shared object (raises on failure)."""
+        faultinject.fire("toolchain-compile", str(output_path))
         command = [self.compiler, *self.flags, "-o", str(output_path), str(source_path), "-lm"]
         try:
             proc = subprocess.run(

@@ -9,6 +9,12 @@ and per-suite reports it produces are what the benchmark harness prints
 as the reproduction of Tables 1 and 2.
 """
 
+from repro.pipeline.faults import (
+    FaultPolicy,
+    JobAttempt,
+    JobFailure,
+    failure_report,
+)
 from repro.pipeline.stng import (
     KernelOutcome,
     KernelReport,
@@ -38,12 +44,16 @@ __all__ = [
     "BatchJob",
     "BatchResult",
     "BatchScheduler",
+    "FaultPolicy",
+    "JobAttempt",
+    "JobFailure",
     "KernelOutcome",
     "KernelReport",
     "MeasuredPerformance",
     "PipelineOptions",
     "STNGPipeline",
     "SuiteSummary",
+    "failure_report",
     "format_measured_rows",
     "format_table1_rows",
     "format_verification_rows",

@@ -25,10 +25,25 @@ class SuiteSummary:
 
 
 def summarize_suite(suite: str, reports: Sequence[KernelReport]) -> SuiteSummary:
-    """Aggregate per-kernel outcomes into the Table 2 counts."""
+    """Aggregate per-kernel outcomes into the Table 2 counts.
+
+    ``LIFT_FAILED`` kernels (lifting infrastructure crashed or timed
+    out after retries) count as untranslated in their stencil class, so
+    the Table 2 row totals stay consistent under partial failure.
+    """
     translated = sum(1 for r in reports if r.outcome is KernelOutcome.TRANSLATED)
-    untranslated = sum(1 for r in reports if r.outcome is KernelOutcome.UNTRANSLATED_STENCIL)
-    non_stencils = sum(1 for r in reports if r.outcome is KernelOutcome.NOT_A_STENCIL)
+    untranslated = sum(
+        1
+        for r in reports
+        if r.outcome is KernelOutcome.UNTRANSLATED_STENCIL
+        or (r.outcome is KernelOutcome.LIFT_FAILED and r.is_stencil)
+    )
+    non_stencils = sum(
+        1
+        for r in reports
+        if r.outcome is KernelOutcome.NOT_A_STENCIL
+        or (r.outcome is KernelOutcome.LIFT_FAILED and not r.is_stencil)
+    )
     return SuiteSummary(
         suite=suite,
         candidates=len(reports),

@@ -33,11 +33,19 @@ from repro.synthesis.cegis import CEGISResult, SynthesisFailure, synthesize_kern
 
 
 class KernelOutcome(str, Enum):
-    """Classification of one flagged loop nest (the Table 2 categories)."""
+    """Classification of one flagged loop nest (the Table 2 categories).
+
+    ``LIFT_FAILED`` is not a paper category: it marks a kernel whose
+    lifting *infrastructure* failed — the worker crashed, hung past the
+    scheduler deadline, or raised — after the fault policy's retries
+    were exhausted (see :mod:`repro.pipeline.faults`).  Table 2 counts
+    it with the untranslated kernels of its stencil class.
+    """
 
     TRANSLATED = "translated"
     UNTRANSLATED_STENCIL = "untranslated_stencil"
     NOT_A_STENCIL = "not_a_stencil"
+    LIFT_FAILED = "lift_failed"
 
 
 @dataclass
@@ -156,6 +164,9 @@ class KernelReport:
     failure_reason: Optional[str] = None
     annotations_used: bool = False
     lift_seconds: float = 0.0
+    # A repro.pipeline.faults.JobFailure when the outcome is LIFT_FAILED
+    # (kept untyped here: faults imports this module).
+    fault: Optional[object] = None
 
     @property
     def translated(self) -> bool:

@@ -1,0 +1,25 @@
+"""Deterministic testing harnesses for the robustness tiers.
+
+:mod:`repro.testing.faultinject` is the fault-injection harness: hook
+points baked into the production modules (worker entry, file-lock
+acquisition, artifact publication, toolchain invocation, store saves)
+fire crashes, SIGKILLs, hangs and torn writes on exactly the Nth
+occurrence described by an injection spec — no sleeps, no randomness,
+no flakiness.  With no spec active every hook is a near-free no-op.
+"""
+
+from repro.testing.faultinject import (
+    InjectedFault,
+    InjectionPlan,
+    corrupt_file,
+    fire,
+    write_spec,
+)
+
+__all__ = [
+    "InjectedFault",
+    "InjectionPlan",
+    "corrupt_file",
+    "fire",
+    "write_spec",
+]

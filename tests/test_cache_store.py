@@ -150,14 +150,20 @@ class TestStore:
         assert counted_synthesis["count"] == 2
 
     def test_corrupted_store_falls_back_to_cold(self, tmp_path, counted_synthesis):
+        from repro.cache import CacheIntegrityWarning
+
         kernel = _kernel(TWO_POINT)
         path = tmp_path / "store.json"
         path.write_text("{not json at all", encoding="utf-8")
-        cache = SynthesisCache(path)
+        with pytest.warns(CacheIntegrityWarning):
+            cache = SynthesisCache(path)
         result = synthesize_kernel(kernel, seed=1, verifier_environments=1, cache=cache)
         assert result.verification.ok
         assert counted_synthesis["count"] == 1
-        # The cold result was recorded over the corrupted file, atomically.
+        # The corrupt file was quarantined, not overwritten: the evidence
+        # survives next to a fresh store holding the cold result.
+        quarantined = path.with_name(path.name + ".corrupt-1")
+        assert quarantined.read_text(encoding="utf-8") == "{not json at all"
         assert len(SynthesisCache(path)) == 1
 
     def test_version_mismatch_invalidates(self, tmp_path, counted_synthesis):
