@@ -16,6 +16,13 @@ fix: **no grid regresses** (translated ≥ original at every measured
 grid, including grid 8 where per-call dispatch overhead used to win),
 and **warm runs recompile nothing** (a fresh store on the same artifact
 directory performs zero compiler invocations).
+
+Measured autotuning runs against a tuned-schedule store
+(``PipelineOptions.schedule_dir``), and the warm translate asserts the
+store's whole point: every kernel's tuned schedule replays from cache
+with **zero measurements** (``MeasuredPerformance.from_cache`` with
+``evaluations == 0``) and **zero compiler invocations** (counted by
+wrapping ``Toolchain.compile`` for the duration of the warm run).
 """
 
 from __future__ import annotations
@@ -25,8 +32,10 @@ from pathlib import Path
 
 from repro.application import differential_check, translate_application
 from repro.cache.artifacts import ArtifactStore
+from repro.cache.schedules import ScheduleStore
 from repro.cache.store import SynthesisCache
 from repro.native import find_toolchain, resolve_backend
+from repro.native.toolchain import Toolchain
 from repro.pipeline.report import verification_level_counts
 from repro.pipeline.stng import PipelineOptions
 from repro.suites.apps import cloverleaf_mini_app
@@ -45,12 +54,16 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
     cache = SynthesisCache(None)
     artifact_dir = tmp_path / "artifacts"
     # ``measure``: each substituted kernel runs under its wall-clock
-    # autotuned schedule rather than the default one.
+    # autotuned schedule rather than the default one, measured on the
+    # native backend when a toolchain is present, with the winners
+    # published to a tuned-schedule store for the warm-run assertion.
     options = PipelineOptions(
         verifier_environments=1,
         measure=True,
+        measure_backend="auto",
         measure_budget=6,
         measure_points=4096,
+        schedule_dir=str(tmp_path / "schedules"),
     )
 
     def translate_and_run():
@@ -82,10 +95,47 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
         + ", ".join(f"{run.grid}:{run.speedup:.2f}x" for run in report.runs)
     )
 
-    # Warm-cache re-run of the whole application performs no synthesis.
-    warm = translate_application(app, options, cache=cache)
+    # Every cold tune was a real measurement run that published its
+    # winner to the schedule store.
+    cold_measured = {
+        tk.report.name: tk.report.performance.measured for tk in bundle.translated
+    }
+    assert all(
+        m is not None and not m.from_cache and m.evaluations > 0
+        for m in cold_measured.values()
+    )
+    schedule_store = ScheduleStore(options.schedule_dir)
+    assert 1 <= schedule_store.entry_count() <= len(bundle.translated)
+
+    # Warm-cache re-run of the whole application performs no synthesis,
+    # no schedule measurements and no compiler invocations: synthesis
+    # replays from the synthesis cache, tuned schedules from the
+    # schedule store.  Toolchain.compile is wrapped for the duration so
+    # a single compile anywhere in the warm translate fails loudly.
+    compile_calls = []
+    original_compile = Toolchain.compile
+
+    def counting_compile(self, source_path, output_path):
+        compile_calls.append(str(output_path))
+        return original_compile(self, source_path, output_path)
+
+    Toolchain.compile = counting_compile
+    try:
+        warm = translate_application(app, options, cache=cache)
+    finally:
+        Toolchain.compile = original_compile
     assert warm.cache_misses == 0
     assert warm.cache_hits == app.expected_liftable
+    warm_measured = {
+        tk.report.name: tk.report.performance.measured for tk in warm.translated
+    }
+    assert all(
+        m is not None and m.from_cache and m.evaluations == 0
+        for m in warm_measured.values()
+    ), "warm measure-mode run performed schedule measurements"
+    assert compile_calls == [], "warm measure-mode run invoked the C compiler"
+    for name, measured in warm_measured.items():
+        assert measured.schedule == cold_measured[name].schedule, name
 
     # Cold-vs-warm native verification: with a toolchain present, the
     # cold run compiled every substituted kernel once; a fresh store on
@@ -122,6 +172,12 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
         "differential": report.as_json(),
         "artifact_cache": artifacts.stats(),
         "warm_artifact_cache": warm_native_stats,
+        "schedule_cache": {
+            **schedule_store.stats(),
+            "warm_replayed": len(warm_measured),
+            "warm_measurements": sum(m.evaluations for m in warm_measured.values()),
+            "warm_compiles": len(compile_calls),
+        },
         "largest_grid": {
             "grid": biggest.grid,
             "original_seconds": biggest.original_seconds,
@@ -163,6 +219,10 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
             )
         print(f"translate (cold, incl. synthesis): {bundle.translate_seconds:.2f}s; "
               f"warm re-run: {warm.cache_hits} cache hits, 0 misses")
+        print(
+            f"tuned schedules: {schedule_store.entry_count()} stored; warm run "
+            f"replayed {len(warm_measured)} with 0 measurements, 0 compiles"
+        )
         if warm_native_stats is not None:
             stats = artifacts.stats()
             print(

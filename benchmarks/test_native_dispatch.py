@@ -13,6 +13,13 @@ compiles once per (kernel, strictness), and a warm pass through a
 fresh :class:`~repro.cache.artifacts.ArtifactStore` on the same
 directory loads the shared object with zero compiler invocations.
 
+The sweep additionally times the kernel under its parallel baseline
+schedule at 1, 2 and 4 worker threads per grid (thread count is a
+runtime argument — one artifact serves all rows) and fits Amdahl's
+parallel fraction from the largest grid's timings
+(:func:`repro.perfmodel.fit_parallel_fraction`), giving the roofline
+model measured parallelism ground truth in the published JSON.
+
 Skipped entirely when no C toolchain is available (``$REPRO_CC``,
 ``cc``, ``gcc`` or ``clang``).
 """
@@ -32,6 +39,7 @@ from repro.frontend import identify_candidates, parse_source
 from repro.frontend.lowering import lower_candidate
 from repro.halide import Schedule, compile_loop_nest, lower
 from repro.native import compile_nest_native, find_toolchain
+from repro.perfmodel import fit_parallel_fraction
 from repro.suites.registry import cases_for_suite
 from repro.synthesis import synthesize_kernel
 
@@ -42,6 +50,7 @@ pytestmark = pytest.mark.skipif(
 KERNEL_NAME = "ackl94"  # CloverLeaf, 2-D wide cross, plain (Table 1)
 GRIDS = (8, 16, 32, 64, 128)
 REPEATS = 5
+THREAD_COUNTS = (1, 2, 4)
 
 
 def _lift_stencil():
@@ -70,8 +79,10 @@ def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
     params = {param.name: 2.0 for param in func.params()}
     artifact_dir = tmp_path / "artifacts"
     schedule = Schedule.default()
+    parallel_schedule = Schedule.baseline_parallel(func.dimensions)
 
     rows = []
+    thread_rows = []
 
     def sweep():
         artifacts = ArtifactStore(artifact_dir)
@@ -97,13 +108,28 @@ def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
                     "speedup": python_seconds / max(native_seconds, 1e-12),
                 }
             )
+            # Thread-count sweep under the parallel baseline schedule:
+            # one compiled artifact, the count is a per-call argument.
+            parallel_runner = compile_nest_native(
+                lower(func, parallel_schedule), artifacts=artifacts
+            )
+            for threads in THREAD_COUNTS:
+                seconds, out = _time_runner(
+                    lambda d, i, o, p, t=threads: parallel_runner(d, i, o, p, threads=t),
+                    domain, inputs, params,
+                )
+                assert out.tobytes() == python_out.tobytes(), (grid, threads)
+                thread_rows.append(
+                    {"grid": grid, "threads": threads, "seconds": seconds}
+                )
         return artifacts
 
     artifacts = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    # One source, one schedule → exactly one cold compilation; a fresh
-    # store on the same directory must then load it without compiling.
-    assert artifacts.compiles == 1
+    # One source per schedule → exactly two cold compilations (default
+    # and parallel-baseline); a fresh store on the same directory must
+    # then load them without compiling.
+    assert artifacts.compiles == 2
     warm = ArtifactStore(artifact_dir)
     warm_runner = compile_nest_native(lower(func, schedule), artifacts=warm)
     domain = [(0, GRIDS[0] - 1)] * func.dimensions
@@ -114,12 +140,24 @@ def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
     warm_runner(domain, inputs, None, params)
     assert warm.compiles == 0 and warm.hits == 1
 
+    largest = GRIDS[-1]
+    largest_times = {
+        row["threads"]: row["seconds"]
+        for row in thread_rows
+        if row["grid"] == largest
+    }
+    parallel_fraction = fit_parallel_fraction(largest_times)
+
     payload = {
         "kernel": f"{case.suite}/{case.name}",
         "schedule": schedule.describe(),
+        "parallel_schedule": parallel_schedule.describe(),
         "toolchain": find_toolchain().fingerprint(),
         "repeats": REPEATS,
         "grids": rows,
+        "thread_rows": thread_rows,
+        "parallel_fraction": parallel_fraction,
+        "cpu_count": __import__("os").cpu_count(),
         "artifact_cache": artifacts.stats(),
         "warm_artifact_cache": warm.stats(),
     }
@@ -128,6 +166,7 @@ def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
             "kernel": payload["kernel"],
             "smallest_grid_speedup": round(rows[0]["speedup"], 2),
             "largest_grid_speedup": round(rows[-1]["speedup"], 2),
+            "parallel_fraction": round(parallel_fraction, 3),
             "cold_compiles": artifacts.compiles,
             "warm_compiles": warm.compiles,
         }
@@ -146,6 +185,11 @@ def test_native_dispatch_vs_python(benchmark, capsys, tmp_path):
             )
         print(f"cold compiles: {artifacts.compiles}; warm compiles: {warm.compiles} "
               f"({warm.hits} artifact hits)")
+        for threads in THREAD_COUNTS:
+            seconds = largest_times.get(threads)
+            if seconds is not None:
+                print(f"grid {largest:4d} @ {threads} thread(s): {seconds * 1e6:9.1f}us")
+        print(f"fitted parallel fraction: {parallel_fraction:.3f}")
 
     # The point of the native backend: on the smallest grid — the
     # dispatch-bound regime — compiled dispatch must win outright.

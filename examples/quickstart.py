@@ -12,15 +12,19 @@ Fortran semantics on a random grid, and finishes with *measured*
 autotuning: the generated stencil is lowered to a loop nest
 (tiling/vectorisation/parallel chunking as real loop structure),
 wall-clock tuned, and every tuned schedule differentially verified
-bit-identical against the schedule-blind reference.
+bit-identical against the schedule-blind reference.  A final pass runs
+the same tuning through the pipeline's tuned-schedule store: the warm
+rerun replays the winning schedule with **zero** measurements.
 
 This is the single-kernel story; for translating *whole applications*
 (scan every procedure, lift every kernel, substitute, differentially
 execute) see docs/application_translation.md and
 ``examples/lift_cloverleaf.py``.  Scheduled execution here uses the
-Python backends; when a C toolchain is present the same nests can run
-through the native compiled-C backend with a content-addressed
-artifact cache — see docs/native_execution.md.  Batch runs over whole
+Python backends (docs/scheduled_execution.md covers the loop-nest IR,
+the compile-ahead concurrent tuner and the tuned-schedule store); when
+a C toolchain is present the same nests can run through the native
+compiled-C backend — multithreaded, with a content-addressed artifact
+cache — see docs/native_execution.md.  Batch runs over whole
 suites are fault-tolerant — worker crashes, hangs and corrupted caches
 are retried, quarantined or degraded rather than fatal — see
 docs/fault_tolerance.md.
@@ -169,6 +173,33 @@ def main() -> None:
           f"({objective.evaluations} schedules, all verified: {objective.all_verified})")
     print("\n== tuned loop nest ==")
     print(lower(func, tuned.best_schedule).pretty())
+
+    # 6. The tuned-schedule store: measured tuning is expensive, its
+    #    product — the winning schedule for (kernel, search space,
+    #    backend, toolchain, machine, tuning config) — is tiny.  With
+    #    ``PipelineOptions.schedule_dir`` the pipeline publishes each
+    #    winner to a content-addressed store, and a warm run replays it
+    #    with ZERO measurements (``from_cache=True, evaluations=0``).
+    #    See docs/scheduled_execution.md for the record format.
+    from repro.pipeline import PipelineOptions, STNGPipeline
+
+    schedule_dir = cache_path.parent / "schedules"
+    options = PipelineOptions(
+        measure=True,
+        measure_backend="auto",  # native when a C toolchain is present
+        measure_budget=8,
+        measure_points=4096,
+        schedule_dir=str(schedule_dir),
+    )
+    cold = STNGPipeline(options).lift_kernel(kernel).performance.measured
+    warm = STNGPipeline(options).lift_kernel(kernel).performance.measured
+    assert warm.from_cache and warm.evaluations == 0
+    assert warm.tuned_schedule == cold.tuned_schedule
+    print(f"\n== tuned-schedule store ({schedule_dir}) ==")
+    print(f"cold tune : {cold.evaluations} measurements on the "
+          f"{cold.backend} backend -> [{cold.tuned_schedule}]")
+    print(f"warm rerun: {warm.evaluations} measurements "
+          f"(from_cache={warm.from_cache}) -> [{warm.tuned_schedule}]")
 
 
 if __name__ == "__main__":

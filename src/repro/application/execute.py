@@ -88,7 +88,7 @@ def _replay_loop_control(loop: DoLoop, scope: Scope, interp: FortranInterpreter)
     scope.scalars[loop.var] = values[trips]
 
 
-def _stencil_runner(stencil, schedule, backend: str, parallel_chunks: int, artifacts):
+def _stencil_runner(stencil, schedule, backend: str, parallel_chunks: int, artifacts, threads=None):
     """Build one reusable strict-bounds executor for a translated stencil.
 
     This is the small-grid fix: the per-call path used to go through
@@ -118,7 +118,9 @@ def _stencil_runner(stencil, schedule, backend: str, parallel_chunks: int, artif
         return run
     if backend == "native":
         try:
-            return compile_nest_native(nest, strict_bounds=True, artifacts=artifacts)
+            return compile_nest_native(
+                nest, strict_bounds=True, artifacts=artifacts, threads=threads
+            )
         except (NativeUnsupportedError, ToolchainError):
             pass  # outside the native fragment / no toolchain: codegen
     return compile_loop_nest(nest, strict_bounds=True)
@@ -131,6 +133,7 @@ def _execute_site(
     backend: str,
     parallel_chunks: int,
     runners: Optional[Dict[int, object]] = None,
+    threads: Optional[int] = None,
 ) -> None:
     """Realize every stencil of one substituted site into the live arrays.
 
@@ -168,6 +171,7 @@ def _execute_site(
                 backend=backend,
                 strict_bounds=True,
                 parallel_chunks=parallel_chunks,
+                threads=threads,
             )
         pending.append((stencil, domain, out))
     for stencil, domain, out in pending:
@@ -192,6 +196,7 @@ def substitution_hooks(
     backend: str = "auto",
     parallel_chunks: int = 8,
     artifacts=None,
+    threads: Optional[int] = None,
 ):
     """Interpreter site hooks realizing every translated kernel of a bundle.
 
@@ -201,7 +206,9 @@ def substitution_hooks(
     ``backend`` resolves to ``"native"``, generated Python otherwise)
     instead of re-lowering per call.  ``backend="auto"`` picks the
     native backend exactly when a C toolchain is present; ``artifacts``
-    optionally shares compiled ``.so`` files across processes.
+    optionally shares compiled ``.so`` files across processes;
+    ``threads`` sets the native worker-thread count for every
+    substituted parallel band (``None`` → the process default).
     """
     backend = resolve_backend(backend)
     hooks = {}
@@ -210,13 +217,15 @@ def substitution_hooks(
             id(stencil): runner
             for stencil in tk.stencils
             for runner in (
-                _stencil_runner(stencil, tk.schedule, backend, parallel_chunks, artifacts),
+                _stencil_runner(
+                    stencil, tk.schedule, backend, parallel_chunks, artifacts, threads
+                ),
             )
             if runner is not None
         }
 
         def hook(interp, scope, index, tk=tk, runners=runners):
-            _execute_site(interp, scope, tk, backend, parallel_chunks, runners)
+            _execute_site(interp, scope, tk, backend, parallel_chunks, runners, threads)
             return tk.site.end
 
         hooks[tk.site.key] = hook
@@ -311,6 +320,7 @@ def run_application(
     translated: bool = True,
     backend: str = "auto",
     artifacts=None,
+    threads: Optional[int] = None,
 ) -> Tuple[Scope, float]:
     """Execute the bundle's driver once; return (driver scope, seconds).
 
@@ -321,7 +331,7 @@ def run_application(
     starts, so the reported seconds measure execution, not compilation.
     """
     hooks = (
-        substitution_hooks(bundle, backend=backend, artifacts=artifacts)
+        substitution_hooks(bundle, backend=backend, artifacts=artifacts, threads=threads)
         if translated
         else {}
     )
@@ -339,6 +349,7 @@ def differential_check(
     grid_scalars=None,
     timing_repeats: int = 1,
     artifacts=None,
+    threads: Optional[int] = None,
 ) -> ApplicationRunReport:
     """Run original vs translated over several grids; compare bitwise.
 
@@ -386,6 +397,7 @@ def differential_check(
                 translated=True,
                 backend=backend,
                 artifacts=artifacts,
+                threads=threads,
             )
             translated_seconds = min(translated_seconds, seconds)
         mismatched: List[str] = []

@@ -20,6 +20,7 @@ from repro.autotune.objectives import (
     DifferentialCheckError,
     Measurement,
     MeasuredObjective,
+    PreparedSchedule,
     modeled_objective,
 )
 from repro.autotune.space import ScheduleSpace
@@ -34,6 +35,7 @@ __all__ = [
     "MeasuredObjective",
     "MultiArmedBanditTuner",
     "PatternSearch",
+    "PreparedSchedule",
     "RandomSearch",
     "ScheduleSpace",
     "Technique",

@@ -60,11 +60,35 @@ def modeled_objective(
 
 @dataclass
 class Measurement:
-    """One timed evaluation of a schedule."""
+    """One timed evaluation of a schedule.
+
+    ``repeats_run`` counts the timed repeats actually executed and
+    ``aborted`` is true when the early-abort cut the repeat loop short:
+    the candidate's best-so-far already exceeded the incumbent minimum,
+    so its reported ``seconds`` — a valid upper bound on its true min —
+    could never have displaced the incumbent anyway.
+    """
 
     schedule: Schedule
     seconds: float
     verified: bool
+    repeats_run: int = 1
+    aborted: bool = False
+
+
+@dataclass
+class PreparedSchedule:
+    """A schedule lowered and compiled, ready to be timed.
+
+    Produced by :meth:`MeasuredObjective.prepare` — the expensive,
+    thread-safe half of a measurement (lowering, code generation, the
+    external C compiler).  :meth:`MeasuredObjective.measure_prepared`
+    consumes it on the timing thread.
+    """
+
+    schedule: Schedule
+    run: Callable[[], np.ndarray]
+    backend: str
 
 
 class MeasuredObjective:
@@ -101,6 +125,20 @@ class MeasuredObjective:
     artifacts:
         Optional :class:`~repro.cache.artifacts.ArtifactStore` so the
         native backend reuses compiled kernels across processes.
+    threads:
+        Native worker-thread count for measured runs (``None`` → the
+        process default).  Ignored by the Python backends.
+    early_abort:
+        When true (default), the repeat loop of a candidate stops as
+        soon as its best-so-far exceeds the incumbent minimum across
+        all previous candidates.  The partial minimum it reports is an
+        upper bound on the candidate's true minimum that is *already*
+        worse than the incumbent, so the incumbent never changes —
+        under a deterministic clock the selected winner is provably
+        identical to the non-aborting run (the regression tests assert
+        this); under real noise the abort trades the tail chance that
+        a slow first repeat was a fluke for substantially less timing
+        work per losing candidate.
     """
 
     def __init__(
@@ -117,6 +155,8 @@ class MeasuredObjective:
         parallel_chunks: int = 8,
         warmup: int = 1,
         artifacts=None,
+        threads: Optional[int] = None,
+        early_abort: bool = True,
     ):
         self.func = func
         self.domain = list(domain)
@@ -131,13 +171,30 @@ class MeasuredObjective:
         self.strict_bounds = strict_bounds
         self.parallel_chunks = parallel_chunks
         self.artifacts = artifacts
+        self.threads = threads
+        self.early_abort = early_abort
         self.reference = realize(
             func, self.domain, inputs, self.input_origins, self.params, strict_bounds
         )
         self.history: List[Measurement] = []
         self.evaluations = 0
+        # Incumbent minimum across every candidate measured so far; the
+        # early-abort threshold.  Only measure_prepared updates it.
+        self.best_seconds = float("inf")
 
     def _runner(self, schedule: Schedule):
+        """Lower + compile one schedule into a zero-arg run callable.
+
+        Pure with respect to objective state (no mutation), so the
+        pipelined tuner may call it — via :meth:`prepare` — from a
+        background thread while the timing thread measures an earlier
+        candidate.  Each call lowers a fresh nest, so per-nest runner
+        memoisation never crosses threads, and the dominant cost on the
+        native backend (the external C compiler) releases the GIL.
+
+        The backend that actually ran (native falls back to codegen
+        silently) is recorded on the callable as ``run.backend``.
+        """
         nest = lower(self.func, schedule, self.parallel_chunks)
         if self.backend == "interp":
             def run():
@@ -145,6 +202,7 @@ class MeasuredObjective:
                     nest, self.domain, self.inputs, self.input_origins,
                     self.params, self.strict_bounds,
                 )
+            run.backend = "interp"
             return run
         runner = None
         if self.backend == "native":
@@ -154,37 +212,63 @@ class MeasuredObjective:
 
             try:
                 runner = compile_nest_native(
-                    nest, self.strict_bounds, artifacts=self.artifacts
+                    nest,
+                    self.strict_bounds,
+                    artifacts=self.artifacts,
+                    threads=self.threads,
                 )
-                self.effective_backend = "native"
             except (NativeUnsupportedError, ToolchainError):
                 runner = None  # measure on codegen instead
+        backend_used = "native" if runner is not None else "codegen"
         if runner is None:
             runner = compile_loop_nest(nest, self.strict_bounds)
-            if self.backend == "native":
-                self.effective_backend = "codegen"
 
         def run():
             return runner(self.domain, self.inputs, self.input_origins, self.params)
 
+        run.backend = backend_used
         return run
 
-    def measure(self, schedule: Schedule) -> Measurement:
-        """Time one schedule and differentially check it.
-
-        Compilation/lowering happens before the clock starts, and
-        ``warmup`` runs are executed and *discarded* first, so the
-        min-of-``repeats`` window times only steady-state calls.
-        """
+    def _build(self, schedule: Schedule):
+        """Lower + compile one schedule; returns ``(run, backend_used)``."""
         run = self._runner(schedule)
+        return run, getattr(run, "backend", self.backend)
+
+    def prepare(self, schedule: Schedule) -> PreparedSchedule:
+        """The compile half of a measurement (safe off the timing thread)."""
+        run, backend_used = self._build(schedule)
+        return PreparedSchedule(schedule=schedule, run=run, backend=backend_used)
+
+    def measure_prepared(self, prepared: PreparedSchedule) -> Measurement:
+        """Time an already-compiled schedule and differentially check it.
+
+        ``warmup`` runs are executed and *discarded* first, so the
+        min-of-``repeats`` window times only steady-state calls.  With
+        :attr:`early_abort`, the repeat loop stops once the candidate's
+        best-so-far exceeds the incumbent minimum.
+        """
+        schedule = prepared.schedule
+        run = prepared.run
+        if self.backend != "interp":
+            self.effective_backend = prepared.backend
         best = float("inf")
         out = None
         for _ in range(self.warmup):
             out = run()
+        repeats_run = 0
+        aborted = False
         for _ in range(self.repeats):
             start = time.perf_counter()
             out = run()
             best = min(best, time.perf_counter() - start)
+            repeats_run += 1
+            if (
+                self.early_abort
+                and repeats_run < self.repeats
+                and best > self.best_seconds
+            ):
+                aborted = True
+                break
         verified = False
         if self.differential:
             if not np.array_equal(out, self.reference):
@@ -194,10 +278,21 @@ class MeasuredObjective:
                     f"(max abs diff {float(np.max(np.abs(out - self.reference)))})"
                 )
             verified = True
-        measurement = Measurement(schedule=schedule, seconds=best, verified=verified)
+        measurement = Measurement(
+            schedule=schedule,
+            seconds=best,
+            verified=verified,
+            repeats_run=repeats_run,
+            aborted=aborted,
+        )
         self.history.append(measurement)
         self.evaluations += 1
+        self.best_seconds = min(self.best_seconds, best)
         return measurement
+
+    def measure(self, schedule: Schedule) -> Measurement:
+        """Compile, then time: :meth:`prepare` + :meth:`measure_prepared`."""
+        return self.measure_prepared(self.prepare(schedule))
 
     def __call__(self, schedule: Schedule) -> float:
         return self.measure(schedule).seconds

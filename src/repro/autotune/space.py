@@ -63,6 +63,18 @@ class ScheduleSpace:
         rng = random.Random(seed)
         return [self.random_schedule(rng) for _ in range(count)]
 
+    def signature(self) -> str:
+        """Identity of the search space, for tuned-schedule cache keys.
+
+        Covers the dimensionality and every choice axis: widening (or
+        narrowing) any axis changes the signature, so cached winners
+        found in a differently-shaped space are never reused.
+        """
+        return (
+            f"dims={self.dimensions};tiles={TILE_CHOICES};"
+            f"vector={VECTOR_CHOICES};unroll={UNROLL_CHOICES}"
+        )
+
     def default_schedule(self) -> Schedule:
         return Schedule.default()
 

@@ -11,11 +11,28 @@ not care whether the cost is the analytical runtime of
 :mod:`repro.perfmodel` (:func:`repro.autotune.modeled_objective`) or
 the measured wall-clock time of the schedule's lowered loop nest
 (:class:`repro.autotune.MeasuredObjective`).
+
+Measured objectives additionally expose the split
+``prepare``/``measure_prepared`` protocol, and for those the tuner runs
+a *compile-ahead pipeline*: candidate schedules are proposed eagerly
+and their expensive half (lowering, code generation, the external C
+compiler — which releases the GIL) runs on a small background thread
+pool, while wall-clock timing stays strictly serial on the calling
+thread, in submission order.  Timing is the part that must not overlap
+anything — a concurrent compile on another core would perturb the very
+measurement being taken — so only compilation is parallelised.  The
+search stays deterministic for a fixed seed: proposals are drawn on the
+timing thread only, and measurements land in FIFO order regardless of
+which compile finishes first.  Objectives without the protocol (the
+modeled objective) keep the exact legacy serial loop.
 """
 
 from __future__ import annotations
 
+import os
 import random
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -83,8 +100,26 @@ class MultiArmedBanditTuner:
         self._recent_rewards[technique.name].append(value)
 
     # -- main loop -----------------------------------------------------------
-    def tune(self, budget: int = 200) -> AutotuneResult:
-        """Search for ``budget`` evaluations and return the best schedule."""
+    def tune(self, budget: int = 200, pipeline_depth: Optional[int] = None) -> AutotuneResult:
+        """Search for ``budget`` evaluations and return the best schedule.
+
+        When the objective implements ``prepare``/``measure_prepared``
+        (measured objectives do), candidate compilation is pipelined on
+        a background thread pool of ``pipeline_depth`` workers (default
+        ``min(4, max(2, cpu_count))``) while timing stays serial in
+        submission order.  Other objectives run the legacy serial loop;
+        ``pipeline_depth`` is ignored for them.
+        """
+        prepare = getattr(self.objective, "prepare", None)
+        measure_prepared = getattr(self.objective, "measure_prepared", None)
+        if prepare is None or measure_prepared is None:
+            return self._tune_serial(budget)
+        if pipeline_depth is None:
+            pipeline_depth = min(4, max(2, os.cpu_count() or 1))
+        return self._tune_pipelined(budget, max(1, pipeline_depth))
+
+    def _tune_serial(self, budget: int) -> AutotuneResult:
+        """The classic propose-measure-reward loop, one candidate at a time."""
         default = self.space.default_schedule()
         default_cost = self.objective(default)
         start = self.space.sensible_schedule()
@@ -116,6 +151,75 @@ class MultiArmedBanditTuner:
             best_cost=best_cost,
             default_cost=default_cost,
             evaluations=evaluations,
+            technique_wins=wins,
+            history=history,
+        )
+
+    def _tune_pipelined(self, budget: int, depth: int) -> AutotuneResult:
+        """Compile-ahead search: background compiles, strictly serial timing.
+
+        A FIFO of at most ``depth`` in-flight candidates keeps the
+        compile pool busy; the timing thread proposes replacements (and
+        draws every random number) as it drains the head, so a fixed
+        seed gives a fixed candidate sequence.  Early proposals are
+        mutated from the default schedule until the first measurements
+        land — the prefetch trade-off of any compile-ahead pipeline.
+        ``budget`` counts total submissions, so total measurements match
+        the serial loop for ``budget >= 2``.
+        """
+        budget = max(1, budget)
+        default = self.space.default_schedule()
+        wins: Dict[str, int] = {t.name: 0 for t in self.techniques}
+        history: List[float] = []
+        best_schedule = default
+        best_cost = float("inf")
+        default_cost = float("inf")
+        measured = 0
+        with ThreadPoolExecutor(max_workers=depth, thread_name_prefix="repro-tune-compile") as pool:
+            # Each entry: (technique or None for the seeds, schedule, future).
+            pending: "deque[tuple[Optional[Technique], Schedule, object]]" = deque()
+            submitted = 0
+
+            def submit(technique: Optional[Technique], schedule: Schedule) -> None:
+                nonlocal submitted
+                pending.append(
+                    (technique, schedule, pool.submit(self.objective.prepare, schedule))
+                )
+                submitted += 1
+
+            submit(None, default)
+            if submitted < budget:
+                submit(None, self.space.sensible_schedule())
+            while pending:
+                while submitted < budget and len(pending) < depth:
+                    technique = self._pick_technique()
+                    candidate = technique.propose(self.space, best_schedule, self.rng)
+                    try:
+                        candidate.validate(self.space.dimensions)
+                    except Exception:
+                        self._reward(technique, 0.0)
+                        continue
+                    submit(technique, candidate)
+                technique, schedule, future = pending.popleft()
+                measurement = self.objective.measure_prepared(future.result())
+                cost = measurement.seconds
+                measured += 1
+                if measured == 1:
+                    default_cost = cost
+                improved = cost < best_cost
+                if technique is not None:
+                    self._reward(technique, 1.0 if improved else 0.0)
+                if improved:
+                    best_schedule, best_cost = schedule, cost
+                    if technique is not None:
+                        wins[technique.name] += 1
+                if measured >= 2:
+                    history.append(best_cost)
+        return AutotuneResult(
+            best_schedule=best_schedule,
+            best_cost=best_cost,
+            default_cost=default_cost,
+            evaluations=measured,
             technique_wins=wins,
             history=history,
         )

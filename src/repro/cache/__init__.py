@@ -28,6 +28,14 @@ from repro.cache.fingerprint import (
     options_signature,
 )
 from repro.cache.locks import FileLock, LockTimeout
+from repro.cache.schedules import (
+    SCHEDULE_FORMAT,
+    ScheduleStore,
+    machine_fingerprint,
+    schedule_from_payload,
+    schedule_key,
+    schedule_to_payload,
+)
 from repro.cache.store import CachedOutcome, SynthesisCache
 
 __all__ = [
@@ -37,8 +45,14 @@ __all__ = [
     "CachedOutcome",
     "FileLock",
     "LockTimeout",
+    "SCHEDULE_FORMAT",
+    "ScheduleStore",
     "SynthesisCache",
     "artifact_key",
+    "machine_fingerprint",
+    "schedule_from_payload",
+    "schedule_key",
+    "schedule_to_payload",
     "fingerprint_kernel",
     "fingerprint_synthesis",
     "options_signature",

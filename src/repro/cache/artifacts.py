@@ -44,7 +44,10 @@ from repro.testing import faultinject
 # Bump when the artifact layout or the generated-code ABI changes: old
 # artifacts become unreachable (new keys) rather than wrongly loaded.
 # "2" added the mandatory sha256 integrity digest to the sidecar.
-ARTIFACT_FORMAT = "native-artifact-2"
+# "3" added the trailing ``int64_t threads`` entry-point argument (the
+# threaded parallel-band dispatch) — pre-thread .so files must never be
+# called through the new signature.
+ARTIFACT_FORMAT = "native-artifact-3"
 
 
 def artifact_key(source: str, toolchain_fingerprint: str) -> str:

@@ -556,6 +556,7 @@ def realize_scheduled(
     strict_bounds: bool = False,
     parallel_chunks: int = 8,
     artifacts=None,
+    threads: Optional[int] = None,
     _visiting: Tuple[int, ...] = (),
 ) -> np.ndarray:
     """Execute ``func`` over ``domain`` under a schedule.
@@ -575,9 +576,13 @@ def realize_scheduled(
     ``artifacts`` (an :class:`~repro.cache.artifacts.ArtifactStore`)
     lets the native backend reuse compiled shared objects across
     processes; without it, native builds are cached per process only.
-    A definition outside the native backend's bit-identical fragment
-    (e.g. transcendental calls) silently falls back to ``codegen`` —
-    the two are interchangeable by construction.
+    ``threads`` is the native backend's worker-thread count for
+    parallel chunk bands (``None`` → the ``$REPRO_NATIVE_THREADS``
+    default, 1 when unset); results are bit-identical for every thread
+    count, and the Python backends ignore it.  A definition outside the
+    native backend's bit-identical fragment (e.g. transcendental calls)
+    silently falls back to ``codegen`` — the two are interchangeable by
+    construction.
     """
     if backend == "auto":
         from repro.native.toolchain import resolve_backend
@@ -600,6 +605,7 @@ def realize_scheduled(
             strict_bounds=strict_bounds,
             parallel_chunks=parallel_chunks,
             artifacts=artifacts,
+            threads=threads,
             _visiting=_visiting + (id(func),),
         )
 
@@ -622,7 +628,7 @@ def realize_scheduled(
 
         try:
             native_runner = compile_nest_native(
-                nest, strict_bounds=strict_bounds, artifacts=artifacts
+                nest, strict_bounds=strict_bounds, artifacts=artifacts, threads=threads
             )
         except NativeUnsupportedError:
             pass  # outside the bit-identical C fragment: codegen instead

@@ -29,7 +29,7 @@ generated-Python backend otherwise.  See ``docs/native_execution.md``.
 """
 
 from repro.native.csource import CSource, NativeUnsupportedError, emit_c_source, native_supported
-from repro.native.dispatch import NativeRunner, compile_nest_native
+from repro.native.dispatch import NativeRunner, compile_nest_native, default_thread_count
 from repro.native.toolchain import (
     Toolchain,
     ToolchainError,
@@ -44,6 +44,7 @@ __all__ = [
     "Toolchain",
     "ToolchainError",
     "compile_nest_native",
+    "default_thread_count",
     "emit_c_source",
     "find_toolchain",
     "native_supported",

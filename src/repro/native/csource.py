@@ -8,19 +8,39 @@ entry point::
                              double* const* bufs,
                              const int64_t* borig, const int64_t* bext,
                              const double* params,
-                             double* out, int64_t* err);
+                             double* out, int64_t* err, int64_t threads);
 
 ``lo``/``hi`` are the inclusive per-axis domain bounds, ``bufs`` the
 input buffers (float64, C-contiguous) in :attr:`CSource.image_names`
 order with their logical origins and extents flattened into
 ``borig``/``bext``, ``params`` the scalar parameters in
 :attr:`CSource.param_names` order, and ``out`` the C-contiguous output
-buffer over the domain shape.  The return value is 0 on success; under
+buffer over the domain shape.  ``threads`` is the worker-thread count
+for a ``threaded`` translation unit (serial kernels take and ignore it,
+keeping one uniform ABI).  The return value is 0 on success; under
 ``strict_bounds`` an out-of-range load stops execution, fills ``err``
 with ``(image index, dimension, offending buffer-relative coordinate)``
 and returns 1 — the dispatcher raises the same
 :class:`~repro.halide.executor.OutOfBoundsError` the Python backends
 raise.
+
+Threaded emission (``emit_c_source(..., threaded=True)``): when the
+nest's *outermost* loop is a ``parallel`` chunk band, the band is
+dispatched over POSIX threads instead of being serialised.  The entry
+point replicates :func:`repro.halide.loopir.chunk_ranges` exactly —
+step-aligned, contiguous, disjoint slabs of the outer loop's range —
+and hands each slab to a worker function that is the ordinary serial
+nest with the outer bounds clamped to the slab.  Because the slabs are
+disjoint in the *output* (the outer loop var selects distinct output
+coordinates) and every point is computed by exactly the same sequence
+of IEEE-754 operations as in serial order, the result is bit-identical
+to serial execution by construction, for any thread count.  Strict
+bounds errors keep serial semantics too: every worker stops its slab at
+the slab's first error in traversal order, and the entry point scans
+the slabs *in serial order* after joining, so the reported ``err``
+triple is the one serial execution would have reported.  A parallel
+loop that is not outermost keeps the serial emission below (still
+bit-identical, just not threaded).
 
 Bit-identity with the Python backends is by construction, not by luck:
 
@@ -145,13 +165,19 @@ class CSource:
     strict_bounds: bool
     kernel_name: str
     schedule: str
+    threaded: bool = False
 
 
 class _CEmitter:
-    def __init__(self, nest: LoopNest, strict_bounds: bool):
+    def __init__(self, nest: LoopNest, strict_bounds: bool, threaded: bool = False):
         self.nest = nest
         self.func = nest.func
         self.strict = strict_bounds
+        self.threaded = threaded
+        self.uses_pthreads = False
+        # When set, the root (parallel) loop iterates this (lower, upper)
+        # pair instead of its own bounds — used by the per-slab worker.
+        self._root_override: "Tuple[str, str] | None" = None
         self.lines: List[str] = []
         self.temp_count = 0
         self.images = _collect_images(self.func.definition)
@@ -282,45 +308,171 @@ class _CEmitter:
         return out
 
     # -- loop structure -----------------------------------------------------
-    def emit_kernel(self) -> None:
+    def _emit_prologue(self, depth: int) -> None:
+        """Unpack buffers, origins, extents and scalar params into locals."""
         dims = self.func.dimensions
+        self.emit("(void)bufs; (void)borig; (void)bext; (void)params; (void)err;", depth)
+        for axis in range(dims):
+            self.emit(f"const int64_t e{axis} = hi[{axis}] - lo[{axis}] + 1;", depth)
+            self.emit(f"(void)e{axis};", depth)
+        flat_pos = 0
+        for position, (name, rank) in enumerate(self.images.items()):
+            self.emit(f"double* const b{position} = bufs[{position}];  /* {name} */", depth)
+            for dim in range(rank):
+                self.emit(f"const int64_t o{position}_{dim} = borig[{flat_pos}];", depth)
+                self.emit(f"const int64_t n{position}_{dim} = bext[{flat_pos}];", depth)
+                self.emit(f"(void)n{position}_{dim};", depth)
+                flat_pos += 1
+        for position, name in enumerate(self.params):
+            self.emit(f"const double pv{position} = params[{position}];  /* {name} */", depth)
+            self.emit(f"const int64_t pi{position} = (int64_t)params[{position}];", depth)
+            self.emit(f"(void)pv{position}; (void)pi{position};", depth)
+
+    def emit_kernel(self) -> None:
+        root = self.nest.root
         self.emit(f"/* kernel {self.func.name}: [{self.nest.schedule.describe()}] */", 0)
+        if (
+            self.threaded
+            and isinstance(root, Loop)
+            and root.kind == "parallel"
+            and root.chunks > 1
+        ):
+            self.uses_pthreads = True
+            self._emit_threaded_kernel(root)
+        else:
+            self._emit_serial_kernel()
+
+    def _emit_serial_kernel(self) -> None:
         self.emit(
             f"int64_t {ENTRY_SYMBOL}(const int64_t* lo, const int64_t* hi,", 0
         )
         self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
-        self.emit("const double* params, double* out, int64_t* err)", 5)
+        self.emit("const double* params, double* out, int64_t* err, int64_t threads)", 5)
         self.emit("{", 0)
-        self.emit("(void)bufs; (void)borig; (void)bext; (void)params; (void)err;", 1)
-        for axis in range(dims):
-            self.emit(f"const int64_t e{axis} = hi[{axis}] - lo[{axis}] + 1;", 1)
-            self.emit(f"(void)e{axis};", 1)
-        flat_pos = 0
-        for position, (name, rank) in enumerate(self.images.items()):
-            self.emit(f"double* const b{position} = bufs[{position}];  /* {name} */", 1)
-            for dim in range(rank):
-                self.emit(f"const int64_t o{position}_{dim} = borig[{flat_pos}];", 1)
-                self.emit(f"const int64_t n{position}_{dim} = bext[{flat_pos}];", 1)
-                self.emit(f"(void)n{position}_{dim};", 1)
-                flat_pos += 1
-        for position, name in enumerate(self.params):
-            self.emit(f"const double pv{position} = params[{position}];  /* {name} */", 1)
-            self.emit(f"const int64_t pi{position} = (int64_t)params[{position}];", 1)
-            self.emit(f"(void)pv{position}; (void)pi{position};", 1)
+        self.emit("(void)threads;", 1)
+        self._emit_prologue(1)
         self._emit_node(self.nest.root, 1, {})
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+
+    def _emit_threaded_kernel(self, root: Loop) -> None:
+        """The outermost parallel band as a pthread-dispatched slab worker.
+
+        ``rk_chunk`` is the serial nest with the outer loop clamped to
+        one step-aligned slab; the entry point replicates
+        ``chunk_ranges`` (C truncating ``/`` equals Python floor ``//``
+        here because the range is non-empty and the step positive),
+        round-robins the slabs over ``threads`` workers, joins, and
+        scans the slabs in serial order for the first error.
+        """
+        chunks = root.chunks
+        step = root.step
+        self.emit("static int64_t rk_chunk(const int64_t* lo, const int64_t* hi,", 0)
+        self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
+        self.emit("const double* params, double* out, int64_t* err,", 5)
+        self.emit("int64_t ck_lo, int64_t ck_hi)", 5)
+        self.emit("{", 0)
+        self._emit_prologue(1)
+        self._root_override = ("ck_lo", "ck_hi")
+        self._emit_node(root, 1, {})
+        self._root_override = None
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+        self.emit("", 0)
+        self.emit("typedef struct {", 0)
+        self.emit("const int64_t* lo; const int64_t* hi;", 1)
+        self.emit("double* const* bufs; const int64_t* borig; const int64_t* bext;", 1)
+        self.emit("const double* params; double* out;", 1)
+        self.emit("int64_t ck_lo; int64_t ck_hi;", 1)
+        self.emit("int64_t rc; int64_t err[3];", 1)
+        self.emit("} rk_task_t;", 0)
+        self.emit("", 0)
+        self.emit("typedef struct {", 0)
+        self.emit("rk_task_t* tasks; int64_t ntasks; int64_t tid; int64_t stride;", 1)
+        self.emit("} rk_worker_arg_t;", 0)
+        self.emit("", 0)
+        self.emit("static void* rk_worker(void* argp) {", 0)
+        self.emit("rk_worker_arg_t* arg = (rk_worker_arg_t*)argp;", 1)
+        self.emit("for (int64_t i = arg->tid; i < arg->ntasks; i += arg->stride) {", 1)
+        self.emit("rk_task_t* t = &arg->tasks[i];", 2)
+        self.emit("t->rc = rk_chunk(t->lo, t->hi, t->bufs, t->borig, t->bext,", 2)
+        self.emit("t->params, t->out, t->err, t->ck_lo, t->ck_hi);", 6)
+        self.emit("}", 1)
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+        self.emit("", 0)
+        self.emit(
+            f"int64_t {ENTRY_SYMBOL}(const int64_t* lo, const int64_t* hi,", 0
+        )
+        self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
+        self.emit("const double* params, double* out, int64_t* err, int64_t threads)", 5)
+        self.emit("{", 0)
+        self.emit(f"const int64_t p_lo = {self.bound(root.lower)};", 1)
+        self.emit(f"const int64_t p_hi = {self.bound(root.upper)};", 1)
+        self.emit(f"rk_task_t tasks[{chunks}];", 1)
+        self.emit("int64_t ntasks = 0;", 1)
+        self.emit("if (p_lo <= p_hi) {", 1)
+        self.emit(f"const int64_t iters = (p_hi - p_lo) / {step} + 1;", 2)
+        self.emit(f"const int64_t per_chunk = ((iters + {chunks - 1}) / {chunks}) * {step};", 2)
+        self.emit("for (int64_t start = p_lo; start <= p_hi; start += per_chunk) {", 2)
+        self.emit("rk_task_t* t = &tasks[ntasks];", 3)
+        self.emit("t->lo = lo; t->hi = hi; t->bufs = bufs; t->borig = borig; t->bext = bext;", 3)
+        self.emit("t->params = params; t->out = out;", 3)
+        self.emit("t->ck_lo = start;", 3)
+        self.emit(f"t->ck_hi = rk_imin(start + per_chunk - {step}, p_hi);", 3)
+        self.emit("t->rc = 0; t->err[0] = 0; t->err[1] = 0; t->err[2] = 0;", 3)
+        self.emit("ntasks++;", 3)
+        self.emit("}", 2)
+        self.emit("}", 1)
+        self.emit("int64_t nthreads = threads < 1 ? 1 : threads;", 1)
+        self.emit("if (nthreads > ntasks) nthreads = ntasks;", 1)
+        self.emit("if (nthreads <= 1) {", 1)
+        self.emit("for (int64_t i = 0; i < ntasks; i++) {", 2)
+        self.emit("rk_task_t* t = &tasks[i];", 3)
+        self.emit("t->rc = rk_chunk(t->lo, t->hi, t->bufs, t->borig, t->bext,", 3)
+        self.emit("t->params, t->out, t->err, t->ck_lo, t->ck_hi);", 7)
+        self.emit("if (t->rc != 0) {", 3)
+        self.emit("err[0] = t->err[0]; err[1] = t->err[1]; err[2] = t->err[2];", 4)
+        self.emit("return 1;", 4)
+        self.emit("}", 3)
+        self.emit("}", 2)
+        self.emit("return 0;", 2)
+        self.emit("}", 1)
+        self.emit(f"pthread_t tids[{chunks}];", 1)
+        self.emit(f"rk_worker_arg_t wargs[{chunks}];", 1)
+        self.emit(f"int created[{chunks}];", 1)
+        self.emit("for (int64_t w = 0; w < nthreads; w++) {", 1)
+        self.emit("wargs[w].tasks = tasks; wargs[w].ntasks = ntasks;", 2)
+        self.emit("wargs[w].tid = w; wargs[w].stride = nthreads;", 2)
+        self.emit("created[w] = pthread_create(&tids[w], 0, rk_worker, &wargs[w]) == 0;", 2)
+        self.emit("if (!created[w]) rk_worker(&wargs[w]);", 2)
+        self.emit("}", 1)
+        self.emit("for (int64_t w = 0; w < nthreads; w++) {", 1)
+        self.emit("if (created[w]) pthread_join(tids[w], 0);", 2)
+        self.emit("}", 1)
+        self.emit("for (int64_t i = 0; i < ntasks; i++) {", 1)
+        self.emit("if (tasks[i].rc != 0) {", 2)
+        self.emit("err[0] = tasks[i].err[0]; err[1] = tasks[i].err[1]; err[2] = tasks[i].err[2];", 3)
+        self.emit("return 1;", 3)
+        self.emit("}", 2)
+        self.emit("}", 1)
         self.emit("return 0;", 1)
         self.emit("}", 0)
 
     def _emit_node(self, node: Union[Loop, ComputeSpan], depth: int, coords: Dict[int, str]) -> None:
         if isinstance(node, ComputeSpan):
             raise HalideError("loop nest has no loops")
-        lower = self.bound(node.lower)
-        upper = self.bound(node.upper)
+        if node is self.nest.root and self._root_override is not None:
+            lower, upper = self._root_override
+        else:
+            lower = self.bound(node.lower)
+            upper = self.bound(node.upper)
         var = self.var_names[node.var]
         # Parallel chunking is step-aligned and order-preserving
         # (chunk_ranges covers the exact serial sequence), so the chunked
-        # loop and its serial equivalent compute identical results; emit
-        # the serial form.
+        # loop and its serial equivalent compute identical results; a
+        # non-outermost parallel loop is emitted in its serial form (the
+        # outermost one is threaded by _emit_threaded_kernel).
         self.emit(
             f"for (int64_t {var} = {lower}; {var} <= {upper}; {var} += {node.step}) {{",
             depth,
@@ -369,21 +521,30 @@ class _CEmitter:
         self.emit(f"out[{flat}] = {value};", depth)
 
 
-def emit_c_source(nest: LoopNest, strict_bounds: bool = False) -> CSource:
+def emit_c_source(
+    nest: LoopNest, strict_bounds: bool = False, threaded: bool = False
+) -> CSource:
     """Emit the C translation unit for one lowered loop nest.
 
-    Raises :class:`NativeUnsupportedError` when the definition uses an
-    operation without a bit-identical C twin (callers fall back to the
-    generated-Python backend).
+    ``threaded`` requests pthread dispatch of the outermost ``parallel``
+    chunk band (see the module docstring for why the result stays
+    bit-identical to serial); it requires a toolchain compiled with
+    ``-pthread`` and is a no-op for nests whose outermost loop is not a
+    parallel band.  Raises :class:`NativeUnsupportedError` when the
+    definition uses an operation without a bit-identical C twin (callers
+    fall back to the generated-Python backend).
     """
     if not native_supported(nest.func):
         raise NativeUnsupportedError(
             f"Func {nest.func.name!r} uses operations outside the "
             "bit-identical native fragment"
         )
-    emitter = _CEmitter(nest, strict_bounds)
+    emitter = _CEmitter(nest, strict_bounds, threaded=threaded)
     emitter.emit_kernel()
-    text = _PREAMBLE + "\n" + "\n".join(emitter.lines) + "\n"
+    preamble = _PREAMBLE
+    if emitter.uses_pthreads:
+        preamble += "#include <pthread.h>\n"
+    text = preamble + "\n" + "\n".join(emitter.lines) + "\n"
     return CSource(
         text=text,
         entry=ENTRY_SYMBOL,
@@ -394,4 +555,5 @@ def emit_c_source(nest: LoopNest, strict_bounds: bool = False) -> CSource:
         strict_bounds=strict_bounds,
         kernel_name=nest.func.name,
         schedule=nest.schedule.describe(),
+        threaded=emitter.uses_pthreads,
     )

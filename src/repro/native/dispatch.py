@@ -27,7 +27,20 @@ mismatches and missing scalar params raise
 :class:`~repro.halide.lang.HalideError` with the same messages, and a
 strict-bounds violation raises
 :class:`~repro.halide.executor.OutOfBoundsError` built from the
-``(image, dimension, coordinate)`` triple the kernel reports.
+``(image, dimension, coordinate)`` triple the kernel reports —
+including violations detected inside worker threads, which are
+reported in serial traversal order.
+
+Threading: when the toolchain supports ``-pthread``, emitted kernels
+whose outermost loop is a ``parallel`` chunk band dispatch the band's
+step-aligned slabs over POSIX threads.  The thread count is a pure
+*runtime* argument (the trailing ``int64_t threads`` of the entry
+point): one compiled artifact serves every thread count, and
+``threads=1`` executes the slabs serially in order — bit-identical to
+the serial emission.  ``compile_nest_native(..., threads=N)`` pins a
+default for the returned runner; ``$REPRO_NATIVE_THREADS`` sets the
+process-wide default (:func:`default_thread_count`, 1 when unset) so
+CI can run entire suites multithreaded without touching call sites.
 """
 
 from __future__ import annotations
@@ -83,8 +96,24 @@ def _load(so_path: str, entry: str) -> ctypes._CFuncPtr:  # type: ignore[name-de
         _c_double_p,                   # params
         _c_double_p,                   # out
         _c_int64_p,                    # err
+        ctypes.c_int64,                # threads
     ]
     return fn
+
+
+def default_thread_count() -> int:
+    """The process-wide native thread count: ``$REPRO_NATIVE_THREADS`` or 1.
+
+    Serial by default on purpose: existing timing-sensitive tests and
+    single-kernel call sites keep their exact behaviour unless a caller
+    (or CI, via the environment) asks for threads explicitly.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
 
 
 def _build(source: CSource, toolchain: Toolchain, artifacts: Optional[ArtifactStore]) -> str:
@@ -129,12 +158,18 @@ def _build(source: CSource, toolchain: Toolchain, artifacts: Optional[ArtifactSt
 
 
 class NativeRunner:
-    """A compiled loop nest, callable like ``compile_loop_nest``'s runner."""
+    """A compiled loop nest, callable like ``compile_loop_nest``'s runner.
 
-    def __init__(self, source: CSource, so_path: str, toolchain: Toolchain):
+    ``threads`` is the default worker-thread count passed to the kernel
+    on every call (overridable per call); a kernel without a threaded
+    parallel band takes and ignores it.
+    """
+
+    def __init__(self, source: CSource, so_path: str, toolchain: Toolchain, threads: int = 1):
         self.source = source
         self.so_path = so_path
         self.toolchain = toolchain
+        self.threads = max(1, int(threads))
         self.dimensions = source.dimensions
         self._fn = _load(so_path, source.entry)
 
@@ -145,6 +180,7 @@ class NativeRunner:
         input_origins: Optional[Mapping[str, Tuple[int, ...]]] = None,
         params: Optional[Mapping[str, float]] = None,
         out: Optional[np.ndarray] = None,
+        threads: Optional[int] = None,
     ) -> np.ndarray:
         dims = self.dimensions
         if len(domain) != dims:
@@ -199,6 +235,7 @@ class NativeRunner:
         else:
             target = np.empty(shape, dtype=np.float64)
 
+        effective_threads = self.threads if threads is None else max(1, int(threads))
         err = np.zeros(3, dtype=np.int64)
         rc = self._fn(
             lo.ctypes.data_as(_c_int64_p),
@@ -209,6 +246,7 @@ class NativeRunner:
             param_values.ctypes.data_as(_c_double_p),
             target.ctypes.data_as(_c_double_p),
             err.ctypes.data_as(_c_int64_p),
+            ctypes.c_int64(effective_threads),
         )
         if rc != 0:
             position, dim, coord = (int(value) for value in err)
@@ -231,8 +269,15 @@ def compile_nest_native(
     strict_bounds: bool = False,
     artifacts: Optional[ArtifactStore] = None,
     toolchain: Optional[Toolchain] = None,
+    threads: Optional[int] = None,
 ) -> NativeRunner:
     """Compile a lowered loop nest with the system toolchain.
+
+    ``threads`` sets the returned runner's default worker-thread count
+    (``None`` → :func:`default_thread_count`).  The count does not
+    affect the generated source or the artifact key — one ``.so``
+    serves every thread count — only which default the runner passes at
+    call time.
 
     Raises :class:`~repro.native.csource.NativeUnsupportedError` when
     the definition falls outside the bit-identical native fragment and
@@ -246,7 +291,8 @@ def compile_nest_native(
     artifact key, hence at most one compilation per process — or per
     *store*, when an :class:`ArtifactStore` spans processes.
     """
-    memo_key = f"_native_strict_{bool(strict_bounds)}"
+    threads = default_thread_count() if threads is None else max(1, int(threads))
+    memo_key = f"_native_strict_{bool(strict_bounds)}_t{threads}"
     runner = getattr(nest, memo_key, None)
     if runner is not None:
         return runner
@@ -256,8 +302,10 @@ def compile_nest_native(
         raise ToolchainError(
             "no usable C compiler found (set $REPRO_CC or install cc/gcc/clang)"
         )
-    source = emit_c_source(nest, strict_bounds=strict_bounds)
+    source = emit_c_source(
+        nest, strict_bounds=strict_bounds, threaded=toolchain.supports_threads
+    )
     so_path = _build(source, toolchain, artifacts)
-    runner = NativeRunner(source, so_path, toolchain)
+    runner = NativeRunner(source, so_path, toolchain, threads=threads)
     setattr(nest, memo_key, runner)
     return runner

@@ -13,8 +13,16 @@ Discovery order: ``$REPRO_CC`` (explicit override, e.g. in CI), then
 and flag tuple — is part of every artifact's content address, so a
 compiler upgrade naturally invalidates cached shared objects.
 
+Threading: the threaded native backend needs POSIX threads, so probing
+also test-compiles a tiny ``pthread_create`` program with ``-pthread``
+and pins the flag when it links (``Toolchain.supports_threads``).  A
+toolchain without working pthreads keeps the plain flag set and the
+emitter falls back to serial emission — same results, one core.  The
+probe compile deliberately bypasses :meth:`Toolchain.compile` so it
+cannot consume a ``toolchain-compile`` injected-fault occurrence.
+
 ``find_toolchain`` is memoised per process: probing runs ``cc
---version`` once, not once per kernel.
+--version`` (plus at most one probe compile) once, not once per kernel.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 import os
 import shutil
 import subprocess
+import tempfile
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -37,6 +46,20 @@ STRICT_FLAGS: Tuple[str, ...] = (
     "-fno-fast-math",
     "-ffp-contract=off",
 )
+
+# STRICT_FLAGS plus POSIX threads, for compilers that link it cleanly.
+THREADED_FLAGS: Tuple[str, ...] = STRICT_FLAGS + ("-pthread",)
+
+_PTHREAD_PROBE_SOURCE = """\
+#include <pthread.h>
+static void* rk_probe(void* arg) { return arg; }
+int rk_probe_entry(void) {
+    pthread_t tid;
+    if (pthread_create(&tid, 0, rk_probe, 0) != 0) return 1;
+    pthread_join(tid, 0);
+    return 0;
+}
+"""
 
 
 class ToolchainError(HalideError):
@@ -54,6 +77,11 @@ class Toolchain:
     def fingerprint(self) -> str:
         """Identity string folded into every artifact's content address."""
         return f"{self.compiler}|{self.version}|{' '.join(self.flags)}"
+
+    @property
+    def supports_threads(self) -> bool:
+        """Did the pthread probe pass (``-pthread`` pinned in the flags)?"""
+        return "-pthread" in self.flags
 
     def compile(self, source_path: "os.PathLike[str] | str", output_path: "os.PathLike[str] | str") -> None:
         """Compile one C file into a shared object (raises on failure)."""
@@ -75,6 +103,31 @@ class Toolchain:
             )
 
 
+def _probe_pthread(path: str) -> bool:
+    """Does this compiler build and link a pthread shared object?
+
+    Raw ``subprocess`` on purpose: :meth:`Toolchain.compile` fires the
+    ``toolchain-compile`` fault-injection hook on exact occurrence
+    counts, and a probe must never consume an injected fault meant for
+    a real kernel build.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as probe_dir:
+        source = os.path.join(probe_dir, "probe.c")
+        output = os.path.join(probe_dir, "probe.so")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(_PTHREAD_PROBE_SOURCE)
+        try:
+            proc = subprocess.run(
+                [path, *THREADED_FLAGS, "-o", output, source],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return False
+        return proc.returncode == 0
+
+
 def _probe(command: str) -> Optional[Toolchain]:
     """Build a Toolchain from one candidate compiler command, if usable."""
     path = shutil.which(command)
@@ -92,7 +145,12 @@ def _probe(command: str) -> Optional[Toolchain]:
     if proc.returncode != 0:
         return None
     version = proc.stdout.decode("utf-8", "replace").splitlines()
-    return Toolchain(compiler=path, version=version[0].strip() if version else "unknown")
+    flags = THREADED_FLAGS if _probe_pthread(path) else STRICT_FLAGS
+    return Toolchain(
+        compiler=path,
+        version=version[0].strip() if version else "unknown",
+        flags=flags,
+    )
 
 
 # Memoised probe result: (env override seen, toolchain-or-None).

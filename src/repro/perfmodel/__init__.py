@@ -16,7 +16,7 @@ with autotuning exploits cores, vectors and locality — and a per-kernel
 workload characterisation (:mod:`repro.perfmodel.workload`).
 """
 
-from repro.perfmodel.machine import GPU_K80, MachineModel, XEON_NODE
+from repro.perfmodel.machine import GPU_K80, MachineModel, XEON_NODE, fit_parallel_fraction
 from repro.perfmodel.workload import KernelWorkload, workload_from_func, workload_from_kernel
 from repro.perfmodel.compiler import (
     CompilerModel,
@@ -36,6 +36,7 @@ __all__ = [
     "MachineModel",
     "XEON_NODE",
     "estimate_runtime",
+    "fit_parallel_fraction",
     "workload_from_func",
     "workload_from_kernel",
 ]

@@ -12,6 +12,7 @@ compiler/schedule extracts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,34 @@ class MachineModel:
         core_fraction = min(1.0, 0.25 + 0.75 * (cores / self.cores))
         stream = self.memory_bandwidth_gbs * core_fraction
         return stream * (1.0 - locality) + self.cache_bandwidth_gbs * locality
+
+
+def fit_parallel_fraction(times: Mapping[int, float]) -> float:
+    """Amdahl's-law fit of the parallel fraction from measured timings.
+
+    ``times`` maps a thread count to measured seconds and must include
+    ``1`` (the serial baseline).  Inverting Amdahl's law, each
+    multi-thread point ``t(n) = t(1) * ((1 - p) + p / n)`` yields an
+    estimate ``p = (1 - t(n)/t(1)) / (1 - 1/n)``; the estimates are
+    clamped to [0, 1] (timing noise can push a raw estimate outside the
+    physical range) and averaged.  This turns the thread-sweep rows the
+    benchmarks measure into the parallelism ground truth the roofline
+    model's core-scaling assumptions can be validated against.
+
+    Returns 0.0 when no usable multi-thread point exists.
+    """
+    baseline = times.get(1)
+    if baseline is None or baseline <= 0.0:
+        return 0.0
+    estimates = []
+    for threads, seconds in times.items():
+        if threads <= 1 or seconds <= 0.0:
+            continue
+        estimate = (1.0 - seconds / baseline) / (1.0 - 1.0 / threads)
+        estimates.append(min(max(estimate, 0.0), 1.0))
+    if not estimates:
+        return 0.0
+    return sum(estimates) / len(estimates)
 
 
 XEON_NODE = MachineModel(

@@ -85,6 +85,15 @@ class PipelineOptions:
     of re-compiling; the :class:`MeasuredPerformance.backend` field
     records the backend that actually ran (native falls back to
     codegen when unavailable).
+
+    ``threads`` sets the native worker-thread count used for measured
+    runs and substituted execution (``None`` → the process default,
+    ``$REPRO_NATIVE_THREADS`` or 1).  ``schedule_dir`` points measured
+    autotuning at a shared :class:`~repro.cache.schedules.ScheduleStore`
+    of tuned winners: a warm ``measure``-mode run whose kernel, search
+    space, backend, toolchain, machine and tuning configuration all
+    match a stored record performs zero measurements and zero compiler
+    invocations for that kernel (``MeasuredPerformance.from_cache``).
     """
 
     seed: int = 0
@@ -102,6 +111,8 @@ class PipelineOptions:
     measure_points: int = 9216
     measure_repeats: int = 1
     artifact_dir: Optional[str] = None
+    threads: Optional[int] = None
+    schedule_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.compile_options = CompileOptions.coerce(self.compile_options)
@@ -114,6 +125,11 @@ class MeasuredPerformance:
     ``schedule`` is the winning :class:`~repro.halide.schedule.Schedule`
     object itself (``tuned_schedule`` is its description text); the
     whole-application executor realizes substituted kernels under it.
+
+    ``from_cache`` marks a result replayed from the tuned-schedule
+    store (``PipelineOptions.schedule_dir``): the seconds are the ones
+    recorded when the schedule was originally tuned, and
+    ``evaluations`` is 0 because the warm run measured nothing.
     """
 
     default_seconds: float
@@ -124,6 +140,7 @@ class MeasuredPerformance:
     evaluations: int
     verified: bool
     schedule: Optional["Schedule"] = None
+    from_cache: bool = False
 
 
 @dataclass
@@ -398,6 +415,12 @@ class STNGPipeline:
         differentially checked bit-identical against the schedule-blind
         reference executor, so a lowering bug fails the lift instead of
         producing a fast-but-wrong schedule.
+
+        With ``options.schedule_dir`` set, the tuned-schedule store is
+        consulted *before* any measurement machinery is built: a hit
+        returns the recorded winner immediately — zero measurements,
+        zero compiler invocations — and a miss tunes as usual and then
+        publishes the winner for the next run.
         """
         import zlib
 
@@ -407,6 +430,61 @@ class STNGPipeline:
         from repro.perfmodel.workload import domain_for_points
 
         func = stencil.func
+        space = ScheduleSpace(func.dimensions)
+        store = store_key = None
+        if self.options.schedule_dir is not None:
+            from repro.cache.fingerprint import fingerprint_kernel
+            from repro.cache.schedules import (
+                ScheduleStore,
+                machine_fingerprint,
+                schedule_from_payload,
+                schedule_key,
+            )
+            from repro.native.dispatch import default_thread_count
+            from repro.native.toolchain import find_toolchain, resolve_backend
+
+            backend = resolve_backend(self.options.measure_backend)
+            toolchain = find_toolchain() if backend == "native" else None
+            toolchain_fp = (
+                toolchain.fingerprint()
+                if toolchain is not None
+                else f"python-backend:{backend}"
+            )
+            threads = (
+                self.options.threads
+                if self.options.threads is not None
+                else default_thread_count()
+            )
+            store = ScheduleStore(self.options.schedule_dir)
+            store_key = schedule_key(
+                fingerprint_kernel(kernel),
+                space.signature(),
+                backend,
+                toolchain_fp,
+                machine_fingerprint(),
+                {
+                    "budget": self.options.measure_budget,
+                    "repeats": self.options.measure_repeats,
+                    "points": self.options.measure_points,
+                    "seed": self.options.seed,
+                    "threads": threads,
+                },
+            )
+            record = store.get(store_key)
+            if record is not None:
+                schedule = schedule_from_payload(record["schedule"])
+                return MeasuredPerformance(
+                    default_seconds=float(record["default_seconds"]),
+                    tuned_seconds=float(record["tuned_seconds"]),
+                    speedup=float(record["default_seconds"])
+                    / max(float(record["tuned_seconds"]), 1e-12),
+                    tuned_schedule=schedule.describe(),
+                    backend=str(record["backend"]),
+                    evaluations=0,
+                    verified=bool(record["verified"]),
+                    schedule=schedule,
+                    from_cache=True,
+                )
         domain = domain_for_points(func.dimensions, self.options.measure_points)
         extents = tuple(hi - lo + 1 for lo, hi in domain)
         rng = np.random.default_rng(
@@ -435,11 +513,25 @@ class STNGPipeline:
             backend=self.options.measure_backend,
             repeats=self.options.measure_repeats,
             artifacts=artifacts,
+            threads=self.options.threads,
         )
-        tuner = MultiArmedBanditTuner(
-            ScheduleSpace(func.dimensions), objective, seed=self.options.seed
-        )
+        tuner = MultiArmedBanditTuner(space, objective, seed=self.options.seed)
         result = tuner.tune(budget=self.options.measure_budget)
+        if store is not None and store_key is not None:
+            from repro.cache.schedules import schedule_to_payload
+
+            store.put(
+                store_key,
+                {
+                    "kernel": kernel.name,
+                    "backend": objective.effective_backend,
+                    "default_seconds": result.default_cost,
+                    "tuned_seconds": result.best_cost,
+                    "evaluations": objective.evaluations,
+                    "verified": objective.all_verified,
+                    "schedule": schedule_to_payload(result.best_schedule),
+                },
+            )
         return MeasuredPerformance(
             default_seconds=result.default_cost,
             tuned_seconds=result.best_cost,

@@ -39,6 +39,8 @@ Hook sites wired into production code:
 ``lock-acquired``   just after acquiring (``kill`` here = holder death)
 ``artifact-publish``:meth:`~repro.cache.artifacts.ArtifactStore.put` entry
 ``artifact-so``     published ``.so`` (``truncate`` = torn write)
+``schedule-publish`` :meth:`~repro.cache.schedules.ScheduleStore.put` entry
+``schedule-record`` published tuned-schedule record (``truncate``)
 ``store-file``      synthesis store file after a save (``truncate``)
 ``toolchain-compile`` :meth:`~repro.native.toolchain.Toolchain.compile`
 =================== =====================================================

@@ -39,6 +39,7 @@ from repro.native import (
     NativeUnsupportedError,
     ToolchainError,
     compile_nest_native,
+    default_thread_count,
     emit_c_source,
     find_toolchain,
     native_supported,
@@ -368,6 +369,109 @@ class TestFallback:
         cost = objective(Schedule.default())
         assert cost > 0 and objective.all_verified
         assert objective.effective_backend == "codegen"
+
+
+@needs_cc
+class TestThreadedExecution:
+    """Multithreaded dispatch must stay inside the bit-identity contract.
+
+    The threaded emission partitions the outermost parallel chunk band
+    into disjoint, step-aligned output slabs (the exact ``chunk_ranges``
+    partition the serial band iterates), so for every thread count the
+    bytes must equal the serial native run, both Python backends and
+    the schedule-blind reference.
+    """
+
+    THREAD_COUNTS = (2, 4, 8)
+
+    def test_thread_sweep_bit_identity(self):
+        checked = 0
+        for name, build in FUNC_BUILDERS.items():
+            func = build()
+            domain = DOMAINS[name]
+            inputs, origins, params = _inputs_for(func, domain, seed=21)
+            reference = realize(func, domain, inputs, origins, params)
+            dims = func.dimensions
+            schedules = ScheduleSpace(dims).sample_schedules(6, seed=31)
+            # Parallel-outermost variants, the ones that actually thread.
+            schedules += [Schedule(parallel_dim=dim) for dim in range(dims)]
+            schedules.append(
+                Schedule(parallel_dim=0, tile_sizes=(8,) * dims, vector_width=2)
+            )
+            for schedule in schedules:
+                nest = lower(func, schedule)
+                interp = execute_loop_nest(nest, domain, inputs, origins, params)
+                codegen = compile_loop_nest(nest)(domain, inputs, origins, params)
+                serial = compile_nest_native(nest, threads=1)(
+                    domain, inputs, origins, params
+                )
+                assert serial.tobytes() == reference.tobytes(), name
+                for threads in self.THREAD_COUNTS:
+                    out = compile_nest_native(nest, threads=threads)(
+                        domain, inputs, origins, params
+                    )
+                    label = f"{name} [{schedule.describe()}] threads={threads}"
+                    assert out.tobytes() == serial.tobytes(), label
+                    assert out.tobytes() == interp.tobytes(), label
+                    assert out.tobytes() == codegen.tobytes(), label
+                    checked += 1
+        assert checked >= 100
+
+    def test_parallel_band_emits_threaded_source(self):
+        toolchain = find_toolchain()
+        if not toolchain.supports_threads:
+            pytest.skip("toolchain has no working -pthread")
+        # dim 1 is the outermost loop of a 2D nest (natural order is
+        # innermost-first), so parallelising it produces the root chunk
+        # band the threaded emission dispatches.
+        threaded = emit_c_source(
+            lower(_cross2d(), Schedule(parallel_dim=1)), threaded=True
+        )
+        assert threaded.threaded
+        assert "pthread_create" in threaded.text
+        # A schedule with no parallel band compiles serial even when the
+        # emitter is allowed to thread; so does a parallel band that is
+        # not outermost.
+        for schedule in (Schedule(), Schedule(parallel_dim=0)):
+            serial = emit_c_source(lower(_cross2d(), schedule), threaded=True)
+            assert not serial.threaded
+            assert "pthread_create" not in serial.text
+
+    def test_per_call_thread_override(self):
+        func = _weighted2d()
+        domain = DOMAINS["weighted2d"]
+        inputs, origins, params = _inputs_for(func, domain, seed=14)
+        runner = compile_nest_native(
+            lower(func, Schedule(parallel_dim=1)), threads=1
+        )
+        baseline = runner(domain, inputs, origins, params)
+        for threads in self.THREAD_COUNTS:
+            out = runner(domain, inputs, origins, params, threads=threads)
+            assert out.tobytes() == baseline.tobytes()
+
+    def test_threaded_strict_bounds_message_parity(self):
+        """Worker-thread OOB errors surface in serial traversal order."""
+        func = _blur1d()
+        domain = [(0, 9)]
+        inputs = {"b": np.random.default_rng(0).normal(size=(10,))}
+        nest = lower(func, Schedule(parallel_dim=0))
+        with pytest.raises(OutOfBoundsError) as python_err:
+            compile_loop_nest(nest, strict_bounds=True)(domain, inputs)
+        for threads in (1,) + self.THREAD_COUNTS:
+            runner = compile_nest_native(nest, strict_bounds=True, threads=threads)
+            with pytest.raises(OutOfBoundsError) as native_err:
+                runner(domain, inputs)
+            assert str(native_err.value) == str(python_err.value), f"threads={threads}"
+
+    def test_default_thread_count_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+        assert default_thread_count() == 4
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "not-a-number")
+        assert default_thread_count() == 1
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "-3")
+        assert default_thread_count() == 1
+        monkeypatch.delenv("REPRO_NATIVE_THREADS")
+        assert default_thread_count() == 1
 
 
 @needs_cc
