@@ -1,0 +1,148 @@
+"""Service warmth benchmark: cold vs warm vs deduped-concurrent.
+
+Boots an in-process :class:`~repro.service.LiftService` over a fresh
+sharded store and times three served-request regimes for the same
+``cloverleaf_mini`` submission:
+
+* **cold** — the first request pays for synthesis;
+* **warm** — an identical later request is answered from the sharded
+  store with zero synthesis (``cache.misses == 0`` is asserted, not
+  just measured);
+* **deduped** — N concurrent identical requests collapse onto one
+  in-flight job, so the batch costs about one warm request, not N.
+
+The wall-clock ratios are machine-dependent, so the CI job running this
+reports but never blocks; warm correctness itself is asserted in the
+blocking service-smoke job.  The measured rows, the run-log summary and
+the sharded-store stats snapshot are published as
+``service-warmth.json`` for the non-blocking CI job to upload.
+
+Skipped entirely when no C toolchain is available.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cache import ShardedStore
+from repro.native import find_toolchain
+from repro.pipeline import PipelineOptions
+from repro.service import LiftService, ServiceClient
+from repro.service.runlog import RunLog
+from repro.suites.apps import mini_app
+
+pytestmark = pytest.mark.skipif(
+    find_toolchain() is None, reason="no usable C compiler on this machine"
+)
+
+OPTIONS = PipelineOptions(verifier_environments=1, inductive=False)
+DEDUP_CLIENTS = 4
+
+
+def test_service_warmth(benchmark, tmp_path, capsys):
+    app = mini_app("cloverleaf_mini")
+    store_dir = tmp_path / "service"
+
+    def submit(host, port):
+        with ServiceClient(host, port, timeout=600.0) as client:
+            started = time.perf_counter()
+            result = client.lift(app.source, app.driver, name=app.name)
+        assert result["event"] == "done", result
+        return time.perf_counter() - started, result
+
+    async def scenario():
+        service = LiftService(store_dir, options=OPTIONS)
+        await service.start()
+        loop = asyncio.get_running_loop()
+        try:
+            with ThreadPoolExecutor(max_workers=DEDUP_CLIENTS) as pool:
+                cold_s, cold = await loop.run_in_executor(
+                    pool, submit, service.host, service.port
+                )
+                warm_s, warm = await loop.run_in_executor(
+                    pool, submit, service.host, service.port
+                )
+                dedup_started = time.perf_counter()
+                deduped = await asyncio.gather(
+                    *[
+                        loop.run_in_executor(pool, submit, service.host, service.port)
+                        for _ in range(DEDUP_CLIENTS)
+                    ]
+                )
+                dedup_s = time.perf_counter() - dedup_started
+            stats = service.stats()
+        finally:
+            await service.stop()
+        return cold_s, cold, warm_s, warm, dedup_s, deduped, stats
+
+    cold_s, cold, warm_s, warm, dedup_s, deduped, stats = benchmark.pedantic(
+        lambda: asyncio.run(scenario()), rounds=1, iterations=1
+    )
+
+    # Warmth is a contract, not a hope: the duplicate and every deduped
+    # request synthesized nothing and produced the cold run's manifest.
+    assert cold["cache"]["misses"] >= 1
+    assert warm["cache"]["misses"] == 0
+    assert warm["manifest"] == cold["manifest"]
+    for _, result in deduped:
+        assert result["cache"]["misses"] == 0
+        assert result["manifest"] == cold["manifest"]
+
+    payload = {
+        "application": app.name,
+        "options": {"verifier_environments": 1, "inductive": False},
+        "rows": [
+            {
+                "regime": "cold",
+                "requests": 1,
+                "seconds": cold_s,
+                "cache": cold["cache"],
+            },
+            {
+                "regime": "warm",
+                "requests": 1,
+                "seconds": warm_s,
+                "cache": warm["cache"],
+                "speedup_vs_cold": cold_s / max(warm_s, 1e-12),
+            },
+            {
+                "regime": "deduped",
+                "requests": DEDUP_CLIENTS,
+                "seconds": dedup_s,
+                "seconds_per_request": dedup_s / DEDUP_CLIENTS,
+            },
+        ],
+        "service": stats,
+        "runlog": RunLog(store_dir / "runlog.jsonl").stats(),
+        "store": ShardedStore(store_dir / "synthesis").stats(),
+    }
+    benchmark.extra_info.update(
+        {
+            "application": app.name,
+            "cold_seconds": round(cold_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "warm_speedup": round(cold_s / max(warm_s, 1e-12), 1),
+            "dedup_clients": DEDUP_CLIENTS,
+        }
+    )
+    Path("service-warmth.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    with capsys.disabled():
+        print(f"\n=== Service warmth ({app.name}) ===")
+        print(f"cold:    {cold_s:7.2f}s  (misses {cold['cache']['misses']})")
+        print(
+            f"warm:    {warm_s:7.2f}s  "
+            f"({cold_s / max(warm_s, 1e-12):5.1f}x vs cold, zero synthesis)"
+        )
+        print(
+            f"deduped: {dedup_s:7.2f}s for {DEDUP_CLIENTS} concurrent "
+            f"identical requests ({dedup_s / DEDUP_CLIENTS:5.2f}s each)"
+        )

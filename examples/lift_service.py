@@ -1,0 +1,120 @@
+"""Lifting as a service: submit Fortran to a live server, stream the
+phases, collect the translated-application manifest.
+
+Run with ``python examples/lift_service.py``.  The script boots the
+asyncio lift server in-process on an ephemeral port (the same server
+``python -m repro.service`` runs standalone — see docs/service.md for
+the wire protocol), then exercises the three served-request regimes
+against the bundled CloverLeaf-style mini-app:
+
+1. **cold** — the first submission streams ``scan``, ``lift``,
+   ``prove``, ``translate`` phase events while the server synthesizes,
+   and finishes with the bundle manifest;
+2. **deduped** — three *concurrent identical* submissions collapse onto
+   one in-flight job: every client gets the full event stream, the
+   server lifts once;
+3. **warm** — a later duplicate is answered from the sharded synthesis
+   store on disk with zero synthesis (``cache.misses == 0``).
+
+It closes with the server's ``stats`` counters and the run-log summary
+— the append-only provenance trail every served request leaves behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.pipeline import PipelineOptions
+from repro.service import LiftService, ServiceClient
+from repro.service.runlog import RunLog
+from repro.suites.apps import mini_app
+
+OPTIONS = PipelineOptions(verifier_environments=1, inductive=False)
+BURST = 3
+
+
+def lift_once(host, port, app, label, on_event=None):
+    with ServiceClient(host, port, timeout=600.0) as client:
+        started = time.perf_counter()
+        result = client.lift(app.source, app.driver, name=app.name, on_event=on_event)
+    seconds = time.perf_counter() - started
+    assert result["event"] == "done", result
+    cache = result["cache"]
+    print(
+        f"  [{label}] done in {seconds:.2f}s  "
+        f"(cache hits {cache['hits']}, misses {cache['misses']})"
+    )
+    return result
+
+
+async def main() -> None:
+    app = mini_app("cloverleaf_mini")
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-service-"))
+    service = LiftService(store_dir, options=OPTIONS)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    host, port = service.host, service.port
+    print(f"server listening on {host}:{port}, store in {store_dir}")
+
+    def show_phase(event):
+        if event["event"] == "phase":
+            print(f"  [cold] phase {event['phase']}: {event['detail']}")
+
+    try:
+        with ThreadPoolExecutor(max_workers=BURST) as pool:
+            print(f"\n--- cold: first lift of {app.name} ---")
+            cold = await loop.run_in_executor(
+                pool, lift_once, host, port, app, "cold", show_phase
+            )
+            counts = cold["manifest"]["counts"]
+            print(
+                f"  manifest: {counts['translated']}/{counts['sites']} kernels "
+                f"translated, fingerprint {cold['fingerprint'][:16]}..."
+            )
+
+            # The in-flight dedup table is keyed by request fingerprint,
+            # so these three identical submissions cost one lift; each
+            # still receives the complete event stream.  (They are warm
+            # here — the point is the *single* job, visible in `stats`.)
+            print(f"\n--- deduped: {BURST} concurrent identical submissions ---")
+            barrier = threading.Barrier(BURST)
+
+            def burst(index):
+                barrier.wait()
+                return lift_once(host, port, app, f"burst-{index}")
+
+            burst_results = await asyncio.gather(
+                *[loop.run_in_executor(pool, burst, i) for i in range(BURST)]
+            )
+            assert all(
+                r["fingerprint"] == cold["fingerprint"] for r in burst_results
+            )
+
+            print("\n--- warm: one more duplicate, served from the shards ---")
+            warm = await loop.run_in_executor(pool, lift_once, host, port, app, "warm")
+            assert warm["cache"]["misses"] == 0, "warm run must not synthesize"
+            assert warm["manifest"] == cold["manifest"]
+
+        stats = service.stats()
+        print(
+            f"\nserver stats: {stats['submissions']} submissions, "
+            f"{stats['deduped']} deduped, {stats['lifts']} lifts, "
+            f"{stats['served']} served"
+        )
+        store = stats["store"]
+        print(
+            f"sharded store: {store['entries']} entries across "
+            f"{store['shards']} shard logs ({store['records']} records)"
+        )
+        print(f"run log: {RunLog(store_dir / 'runlog.jsonl').stats()}")
+    finally:
+        await service.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

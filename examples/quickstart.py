@@ -27,7 +27,10 @@ compiled-C backend — multithreaded, with a content-addressed artifact
 cache — see docs/native_execution.md.  Batch runs over whole
 suites are fault-tolerant — worker crashes, hangs and corrupted caches
 are retried, quarantined or degraded rather than fatal — see
-docs/fault_tolerance.md.
+docs/fault_tolerance.md.  To run all of this as a long-lived *server* —
+submit Fortran over a socket, stream the phases back, dedupe concurrent
+identical requests, serve repeats warm from a sharded synthesis store —
+see docs/service.md and ``examples/lift_service.py``.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.application.scan import ApplicationScan, LoopSite, scan_application
 from repro.backend.gluegen import bound_to_fortran
@@ -201,6 +201,7 @@ def translate_application(
     driver: Optional[str] = None,
     name: Optional[str] = None,
     fault_policy: Optional[FaultPolicy] = None,
+    progress: Optional[Callable[[str, Dict], None]] = None,
 ) -> ApplicationBundle:
     """Translate a whole program: scan, lift everything, bundle.
 
@@ -213,8 +214,21 @@ def translate_application(
     :class:`~repro.pipeline.faults.FaultPolicy`); a site whose lift
     fails terminally degrades to an interpreted fallback rather than
     aborting the translation.
+
+    ``progress``, when supplied, is called as ``progress(phase,
+    detail)`` after each pipeline phase completes — ``"scan"``,
+    ``"lift"``, ``"prove"``, ``"translate"``, in that order, with a
+    JSON-able detail dict — so a caller (the lifting service streams
+    these to its clients) can report where a translation is.  The
+    callback runs on the translating thread; exceptions it raises
+    propagate.
     """
     started = time.perf_counter()
+
+    def emit(phase: str, detail: Dict) -> None:
+        if progress is not None:
+            progress(phase, detail)
+
     if isinstance(app, MiniApp):
         source = app.source
         driver = app.driver if driver is None else driver
@@ -231,6 +245,15 @@ def translate_application(
     program = parse_source(source)
     scan = scan_application(program)
     liftable = scan.liftable_sites
+    emit(
+        "scan",
+        {
+            "application": name,
+            "sites": len(scan.sites),
+            "liftable": len(liftable),
+            "unliftable": len(scan.fallback_sites),
+        },
+    )
 
     if pool_size > 1:
         scheduler = BatchScheduler(
@@ -245,6 +268,23 @@ def translate_application(
         hits, misses = batch.cache_hits, batch.cache_misses
     else:
         reports, hits, misses = _lift_sequential(liftable, options, cache)
+    emit(
+        "lift",
+        {
+            "reports": len(reports),
+            "lifted": sum(1 for r in reports if r.translated and r.stencils),
+            "cache_hits": hits,
+            "cache_misses": misses,
+        },
+    )
+    emit(
+        "prove",
+        {
+            "verification_levels": verification_level_counts(
+                [r for r in reports if r.translated and r.stencils]
+            ),
+        },
+    )
 
     bundle = ApplicationBundle(
         name=name,
@@ -270,6 +310,14 @@ def translate_application(
     for site in scan.fallback_sites:
         bundle.fallbacks.append(FallbackSite(site=site, reason="; ".join(site.reasons)))
     bundle.translate_seconds = time.perf_counter() - started
+    emit(
+        "translate",
+        {
+            "translated": len(bundle.translated),
+            "fallback": len(bundle.fallbacks),
+            "seconds": bundle.translate_seconds,
+        },
+    )
     return bundle
 
 

@@ -20,7 +20,12 @@ definitive failures) are persisted to a JSON store
 """
 
 from repro.cache.artifacts import ArtifactStore, artifact_key
-from repro.cache.integrity import CacheIntegrityWarning, quarantine_file, sha256_bytes
+from repro.cache.integrity import (
+    CacheIntegrityWarning,
+    StaleVersionWarning,
+    quarantine_file,
+    sha256_bytes,
+)
 from repro.cache.fingerprint import (
     CODE_VERSION,
     fingerprint_kernel,
@@ -36,6 +41,13 @@ from repro.cache.schedules import (
     schedule_key,
     schedule_to_payload,
 )
+from repro.cache.shards import (
+    SHARD_FORMAT,
+    ShardedStore,
+    read_legacy_store,
+    shard_path,
+    shard_prefix,
+)
 from repro.cache.store import CachedOutcome, SynthesisCache
 
 __all__ = [
@@ -46,8 +58,14 @@ __all__ = [
     "FileLock",
     "LockTimeout",
     "SCHEDULE_FORMAT",
+    "SHARD_FORMAT",
     "ScheduleStore",
+    "ShardedStore",
+    "StaleVersionWarning",
     "SynthesisCache",
+    "read_legacy_store",
+    "shard_path",
+    "shard_prefix",
     "artifact_key",
     "machine_fingerprint",
     "schedule_from_payload",

@@ -8,13 +8,17 @@ an output cache: this store keys every ``.so`` by the SHA-256 of that
 triple, so a warm run ``dlopen``\\ s the cached artifact instead of
 re-lowering and re-compiling anything.
 
-Layout: one directory holding ``<key>.so`` plus a ``<key>.json``
-metadata sidecar (kernel name, schedule, source digest, compiler
-fingerprint, creation time, and the SHA-256 of the published ``.so``
-bytes).  Writers publish atomically (temp file + ``os.replace``) under
-a crash-reclaimable :class:`~repro.cache.locks.FileLock`, so concurrent
-processes sharing a store directory never observe half-written
-artifacts and a killed writer never wedges the store.
+Layout: artifacts are bucketed into ``<root>/<prefix>/`` shard
+subdirectories by the first two characters of their key (the shared
+:func:`~repro.cache.shards.shard_path` helper), each holding
+``<key>.so`` plus a ``<key>.json`` metadata sidecar (kernel name,
+schedule, source digest, compiler fingerprint, creation time, and the
+SHA-256 of the published ``.so`` bytes).  Writers publish atomically
+(temp file + ``os.replace``) under a *per-shard* crash-reclaimable
+:class:`~repro.cache.locks.FileLock`, so concurrent processes sharing a
+store directory only contend when publishing into the same bucket, never
+observe half-written artifacts, and a killed writer never wedges the
+store.
 
 Integrity: loads verify the ``.so`` bytes against the digest recorded
 at publication.  A mismatch (truncation, bit rot, an injected fault)
@@ -39,6 +43,7 @@ from typing import Any, Dict, Optional
 
 from repro.cache.integrity import quarantine_file, sha256_bytes
 from repro.cache.locks import FileLock, LockTimeout
+from repro.cache.shards import shard_path
 from repro.testing import faultinject
 
 # Bump when the artifact layout or the generated-code ABI changes: old
@@ -91,11 +96,19 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Lookup / publish
     # ------------------------------------------------------------------
+    def shard_dir(self, key: str) -> Path:
+        """The ``<root>/<prefix>/`` bucket holding ``key``'s files."""
+        return shard_path(self.directory, key)
+
+    def publish_lock_path(self, key: str) -> Path:
+        """The per-shard lock publications into ``key``'s bucket take."""
+        return Path(str(self.shard_dir(key)) + ".lock")
+
     def so_path(self, key: str) -> Path:
-        return self.directory / f"{key}.so"
+        return self.shard_dir(key) / f"{key}.so"
 
     def meta_path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self.shard_dir(key) / f"{key}.json"
 
     def _verify(self, key: str) -> bool:
         """Do the ``.so`` bytes still match the digest published with them?
@@ -160,10 +173,11 @@ class ArtifactStore:
         """
         faultinject.fire("artifact-publish", key)
         target = self.so_path(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        bucket = self.shard_dir(key)
+        bucket.mkdir(parents=True, exist_ok=True)
         built_bytes = Path(built_so).read_bytes()
         digest = sha256_bytes(built_bytes)
-        lock = FileLock(self.directory / ".lock", timeout=self.lock_timeout)
+        lock = FileLock(self.publish_lock_path(key), timeout=self.lock_timeout)
         try:
             lock.acquire()
         except LockTimeout:
@@ -171,7 +185,7 @@ class ArtifactStore:
         try:
             if target.is_file() and self._verify(key):
                 return target
-            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".so.tmp", dir=str(self.directory))
+            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".so.tmp", dir=str(bucket))
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(built_bytes)
@@ -191,7 +205,7 @@ class ArtifactStore:
             }
             sidecar.update(metadata or {})
             meta_path = self.meta_path(key)
-            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".json.tmp", dir=str(self.directory))
+            fd, tmp_name = tempfile.mkstemp(prefix=key[:16] + ".", suffix=".json.tmp", dir=str(bucket))
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(sidecar, handle, indent=2, sort_keys=True)
             os.replace(tmp_name, meta_path)
@@ -210,12 +224,12 @@ class ArtifactStore:
     def entry_count(self) -> int:
         if not self.directory.is_dir():
             return 0
-        return sum(1 for path in self.directory.glob("*.so"))
+        return sum(1 for path in self.directory.rglob("*.so"))
 
     def total_bytes(self) -> int:
         if not self.directory.is_dir():
             return 0
-        return sum(path.stat().st_size for path in self.directory.glob("*.so"))
+        return sum(path.stat().st_size for path in self.directory.rglob("*.so"))
 
     def stats(self) -> Dict[str, Any]:
         """JSON-able counters for benchmark/CI publication."""

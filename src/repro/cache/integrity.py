@@ -24,6 +24,18 @@ class CacheIntegrityWarning(UserWarning):
     """A cache file was corrupt or a degradation path engaged."""
 
 
+class StaleVersionWarning(CacheIntegrityWarning):
+    """Stored entries from another code version were discarded.
+
+    Version skew is *explicit invalidation*, not corruption — templates,
+    strategies or the verifier changed semantics, so replaying the old
+    entries would be wrong.  It is still worth a signal: silently
+    returning an empty cache makes "why did my warm run go cold?"
+    undiagnosable, so the stores report how many entries they discarded
+    and which versions disagreed.
+    """
+
+
 def sha256_bytes(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 

@@ -14,8 +14,11 @@ summary by the SHA-256 of exactly that tuple, so a warm ``measure``-mode
 run performs **zero** measurements and zero compiler invocations — it
 loads the winner and moves on.
 
-Layout: one directory of ``<key>.json`` records.  Writers publish
-atomically (temp file + ``os.replace``) under a crash-reclaimable
+Layout: records are bucketed into ``<root>/<prefix>/`` shard
+subdirectories by the first two characters of their key (the shared
+:func:`~repro.cache.shards.shard_path` helper), one ``<key>.json``
+record per file.  Writers publish atomically (temp file +
+``os.replace``) under a *per-shard* crash-reclaimable
 :class:`~repro.cache.locks.FileLock`.  Every record embeds the SHA-256
 of its own canonical content; a load that fails parsing, format or
 digest verification quarantines the record aside as ``*.corrupt-<n>``
@@ -45,6 +48,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.cache.integrity import quarantine_file
 from repro.cache.locks import FileLock, LockTimeout
+from repro.cache.shards import shard_path
 from repro.halide.schedule import Schedule
 from repro.testing import faultinject
 
@@ -152,8 +156,16 @@ class ScheduleStore:
         self.hits = 0
         self.misses = 0
 
+    def shard_dir(self, key: str) -> Path:
+        """The ``<root>/<prefix>/`` bucket holding ``key``'s record."""
+        return shard_path(self.directory, key)
+
+    def publish_lock_path(self, key: str) -> Path:
+        """The per-shard lock publications into ``key``'s bucket take."""
+        return Path(str(self.shard_dir(key)) + ".lock")
+
     def record_path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self.shard_dir(key) / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The verified record for ``key``, or ``None`` (counted as a miss).
@@ -198,15 +210,16 @@ class ScheduleStore:
         stamped["created"] = time.time()
         stamped["sha256"] = _record_digest(stamped)
         target = self.record_path(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        lock = FileLock(self.directory / ".lock", timeout=self.lock_timeout)
+        bucket = self.shard_dir(key)
+        bucket.mkdir(parents=True, exist_ok=True)
+        lock = FileLock(self.publish_lock_path(key), timeout=self.lock_timeout)
         try:
             lock.acquire()
         except LockTimeout:
             return None
         try:
             fd, tmp_name = tempfile.mkstemp(
-                prefix=key[:16] + ".", suffix=".json.tmp", dir=str(self.directory)
+                prefix=key[:16] + ".", suffix=".json.tmp", dir=str(bucket)
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -229,7 +242,7 @@ class ScheduleStore:
     def entry_count(self) -> int:
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self.directory.rglob("*.json"))
 
     def stats(self) -> Dict[str, Any]:
         """JSON-able counters for benchmark/CI publication."""

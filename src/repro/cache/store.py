@@ -1,38 +1,52 @@
-"""Persistent JSON store of synthesis outcomes, keyed by fingerprint.
+"""Persistent store of synthesis outcomes, keyed by fingerprint.
 
-The store is a single JSON file holding one entry per synthesis
-fingerprint (:mod:`repro.cache.fingerprint`).  An entry records either a
-verified summary (the serialized ``CEGISResult``) or a definitive
-failure (no strategy produced a verified summary) — both outcomes are
-deterministic functions of the fingerprinted inputs, so warm runs can
+An entry records either a verified summary (the serialized
+``CEGISResult``) or a definitive failure (no strategy produced a
+verified summary) — both outcomes are deterministic functions of the
+fingerprinted inputs (:mod:`repro.cache.fingerprint`), so warm runs can
 replay them without re-synthesizing.
 
-Robustness rules:
+Two persistence backends share one :class:`SynthesisCache` API, chosen
+by the shape of ``path``:
 
-* a missing or unreadable store file is treated as empty — a warm run
-  silently degrades to a cold one; a *corrupted* store file (torn
-  write, truncation, injected fault) is additionally quarantined aside
-  as ``<path>.corrupt-<n>`` with a
-  :class:`~repro.cache.integrity.CacheIntegrityWarning`, so the run
-  still degrades but the evidence survives for forensics;
-* the file carries the :data:`~repro.cache.fingerprint.CODE_VERSION` it
-  was written with; a version mismatch discards every entry (explicit
-  invalidation when templates/strategies change), while option changes
-  invalidate implicitly because they change the fingerprint;
-* saves are atomic (temp file + ``os.replace``) so a crashed writer
-  never corrupts an existing store, and they re-read and merge the
-  on-disk entries first so concurrent writers sharing one path cannot
-  clobber each other's entries (last-replace-wins applies only to
-  entries with the same fingerprint, which are interchangeable);
-* the read-merge-replace sequence runs under a crash-reclaimable
-  :class:`~repro.cache.locks.FileLock`: a writer killed mid-save leaves
-  a lock file behind, and the next save detects the dead holder (pid
-  liveness, then age) and reclaims it instead of deadlocking the warm
-  run;
+* a path ending in ``.json`` selects the **legacy single-file**
+  backend: one JSON document rewritten whole by every save, under a
+  lock-protected read-merge-replace; fine for one writer, a bottleneck
+  for many;
+* any other path selects the **sharded** backend
+  (:class:`~repro.cache.shards.ShardedStore`): a directory of
+  per-fingerprint-prefix append logs with periodic compaction and
+  per-shard locks, safe for many concurrent writers — saves append
+  only the entries recorded since the last save.  Pointing the sharded
+  backend at a legacy store *file* migrates it in place (original
+  preserved as ``<path>.migrated``).  The ``sharded`` parameter
+  overrides the suffix rule either way.
+
+Robustness rules (both backends):
+
+* a missing or unreadable store is treated as empty — a warm run
+  silently degrades to a cold one; a *corrupted* single-file store
+  (torn write, truncation, injected fault) is quarantined aside as
+  ``<path>.corrupt-<n>`` with a
+  :class:`~repro.cache.integrity.CacheIntegrityWarning`, while a torn
+  shard log merely skips the damaged lines and keeps every other
+  record, so the evidence (or the bulk of the store) survives;
+* entries carry the :data:`~repro.cache.fingerprint.CODE_VERSION` they
+  were written with; a version mismatch discards the stale entries with
+  a :class:`~repro.cache.integrity.StaleVersionWarning` naming the
+  discarded count (explicit invalidation when templates/strategies
+  change), while option changes invalidate implicitly because they
+  change the fingerprint;
+* writes are atomic (temp file + ``os.replace``, or newline-delimited
+  appends whose torn tails are healed and skipped) and serialized
+  through crash-reclaimable :class:`~repro.cache.locks.FileLock`\\ s: a
+  writer killed mid-save leaves a lock file behind, and the next save
+  detects the dead holder (pid liveness, then age) and reclaims it
+  instead of deadlocking the warm run;
 * entries created since construction are exposed via
   :meth:`SynthesisCache.new_entries` so process-pool workers can ship
   them back to the parent, which merges and saves once — workers never
-  write the file and therefore never race each other.
+  write the store and therefore never race each other.
 """
 
 from __future__ import annotations
@@ -53,6 +67,7 @@ from repro.cache.fingerprint import CODE_VERSION, fingerprint_synthesis
 from repro.cache.integrity import CacheIntegrityWarning, quarantine_file
 from repro.cache.locks import FileLock, LockTimeout
 from repro.cache.serialize import CachePayloadError, result_from_payload, result_to_payload
+from repro.cache.shards import ShardedStore, read_legacy_store
 from repro.testing import faultinject
 
 _STATUS_VERIFIED = "verified"
@@ -104,6 +119,10 @@ class SynthesisCache:
         outcomes, so a warm run loads ``.so`` files instead of
         re-compiling.  ``None`` (the default) keeps native compilation
         per-process only.
+    sharded:
+        Force the sharded (``True``) or legacy single-file (``False``)
+        backend; ``None`` (the default) picks by suffix — ``.json``
+        paths stay single-file, anything else is a sharded directory.
     """
 
     def __init__(
@@ -114,6 +133,7 @@ class SynthesisCache:
         cache_failures: bool = True,
         artifact_dir: "os.PathLike[str] | str | None" = None,
         lock_timeout: float = 10.0,
+        sharded: Optional[bool] = None,
     ):
         self.path = Path(path) if path is not None else None
         self.code_version = code_version
@@ -127,39 +147,36 @@ class SynthesisCache:
         self.misses = 0
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._new: Dict[str, Dict[str, Any]] = {}
+        # Entries recorded or merged since the last successful save —
+        # what the sharded backend appends (the legacy backend rewrites
+        # everything, so it never consults this).
+        self._dirty: Dict[str, Dict[str, Any]] = {}
+        if sharded is None:
+            sharded = self.path is not None and self.path.suffix != ".json"
+        self._shards: Optional[ShardedStore] = (
+            ShardedStore(self.path, code_version=code_version, lock_timeout=lock_timeout)
+            if sharded and self.path is not None
+            else None
+        )
         if self.path is not None:
             self._load()
+
+    @property
+    def sharded(self) -> bool:
+        """Is this cache backed by a :class:`ShardedStore` directory?"""
+        return self._shards is not None
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def _read_disk_entries(self) -> Dict[str, Dict[str, Any]]:
-        """Decode the backing file; corruption quarantines, version skew yields {}."""
+    def _read_disk_entries(self, warn: bool = True) -> Dict[str, Dict[str, Any]]:
+        """Decode the backing store; corruption degrades, version skew warns."""
         assert self.path is not None
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if not isinstance(data, dict):
-                raise ValueError("store root is not an object")
-            if data.get("version") != self.code_version:
-                # Templates/strategies changed since this store was written;
-                # explicit invalidation, not corruption — no quarantine.
-                return {}
-            entries = data.get("entries", {})
-            if not isinstance(entries, dict):
-                raise ValueError("store entries is not an object")
-            return {
-                str(fp): entry
-                for fp, entry in entries.items()
-                if isinstance(entry, dict) and entry.get("status") in (_STATUS_VERIFIED, _STATUS_FAILURE)
-            }
-        except OSError:
-            # Missing or unreadable file: plain cold start.
-            return {}
-        except ValueError as exc:  # covers JSONDecodeError
-            # Torn write or truncation: keep the evidence, degrade to cold.
-            quarantine_file(self.path, f"synthesis store corrupt ({exc})")
-            return {}
+        if self._shards is not None:
+            return self._shards.load_all(warn=warn)
+        return read_legacy_store(
+            self.path, self.code_version, statuses=(_STATUS_VERIFIED, _STATUS_FAILURE)
+        )
 
     def _load(self) -> None:
         """Load the backing file; any corruption degrades to an empty cache."""
@@ -189,8 +206,18 @@ class SynthesisCache:
         skipped write.  ``merge=False`` writes exactly the in-memory
         entries (used by :meth:`clear`, where resurrecting disk entries
         would defeat the point).
+
+        A sharded cache implements the same contract by appending: a
+        merge-save appends only the entries recorded since the last
+        save (each shard under its own lock, compacting when a shard
+        has accumulated dead records) and then folds other writers'
+        on-disk entries into memory; a shard whose lock is busy keeps
+        its entries dirty for the next save.
         """
         if self.path is None:
+            return
+        if self._shards is not None:
+            self._save_sharded(merge)
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         lock: Optional[FileLock] = None
@@ -240,10 +267,28 @@ class SynthesisCache:
         finally:
             if lock is not None:
                 lock.release()
+        self._dirty = {}
+
+    def _save_sharded(self, merge: bool) -> None:
+        """Append-path save for the sharded backend."""
+        assert self._shards is not None
+        if not merge:
+            # Exact-contents save (clear): drop every shard, then
+            # re-append whatever is in memory.
+            self._shards.clear()
+            self._dirty = self._shards.append(dict(self._entries))
+            return
+        self._dirty = self._shards.append(self._dirty)
+        disk = self._shards.load_all(warn=False)
+        if disk:
+            merged = dict(disk)
+            merged.update(self._entries)
+            self._entries = merged
 
     def clear(self) -> None:
         self._entries = {}
         self._new = {}
+        self._dirty = {}
         if self.autosave:
             self.save(merge=False)
 
@@ -281,6 +326,7 @@ class SynthesisCache:
     def _put(self, fingerprint: str, entry: Dict[str, Any]) -> None:
         self._entries[fingerprint] = entry
         self._new[fingerprint] = entry
+        self._dirty[fingerprint] = entry
         if self.autosave:
             self.save()
 
@@ -349,6 +395,7 @@ class SynthesisCache:
                 added += 1
             self._entries[fingerprint] = entry
             self._new[fingerprint] = entry
+            self._dirty[fingerprint] = entry
         if added and self.autosave:
             self.save()
         return added

@@ -1,0 +1,46 @@
+"""Lifting-as-a-service: the asyncio front door over the pipeline.
+
+The paper's workflow — scan a Fortran program, lift every candidate
+loop nest, prove the summaries, emit the translated bundle — is a
+one-shot run.  This package wraps it as a **long-running service**:
+
+* :mod:`repro.service.server` — an asyncio TCP server
+  (``python -m repro.service``) accepting requests over a
+  line-delimited JSON protocol (:mod:`repro.service.protocol`),
+  deduping in-flight requests by content fingerprint so N concurrent
+  identical submissions perform exactly one lift, streaming per-phase
+  progress events (scan → lift → prove → translate → done), and
+  running the lifts on the existing batch scheduler through a
+  thread-pool bridge against the sharded synthesis store;
+* :mod:`repro.service.runlog` — append-only JSON-lines bookkeeping of
+  every served request (fingerprints, verification levels, timings,
+  cache hits/misses);
+* :mod:`repro.service.client` — a dependency-free blocking client for
+  scripts, examples and tests.
+
+See ``docs/service.md`` for the wire protocol and operational story.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_line,
+    encode_line,
+    options_from_request,
+    request_fingerprint,
+)
+from repro.service.runlog import RunLog
+from repro.service.server import LiftService
+
+__all__ = [
+    "LiftService",
+    "PROTOCOL_VERSION",
+    "RunLog",
+    "ServiceClient",
+    "ServiceError",
+    "decode_line",
+    "encode_line",
+    "options_from_request",
+    "request_fingerprint",
+]

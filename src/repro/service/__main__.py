@@ -1,0 +1,93 @@
+"""``python -m repro.service`` — run the lifting server.
+
+Prints exactly one ``{"event": "listening", "host": ..., "port": ...}``
+line to stdout once the socket is bound (the smoke test and the example
+read it to discover an ephemeral port), then serves until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.pipeline.stng import PipelineOptions
+from repro.service.protocol import DEFAULT_HOST, PROTOCOL_VERSION
+from repro.service.server import LiftService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-running lifting service (NDJSON over TCP).",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral, printed)"
+    )
+    parser.add_argument(
+        "--store",
+        default=".repro-service",
+        help="service state root (sharded synthesis store + run log)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=1,
+        help="process-pool width for each lift's kernels",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent lifts (thread pool)"
+    )
+    parser.add_argument(
+        "--verifier-environments",
+        type=int,
+        default=None,
+        help="server-side default verifier environment count",
+    )
+    parser.add_argument(
+        "--no-inductive",
+        action="store_true",
+        help="disable the Tier-3 inductive prover server-side",
+    )
+    return parser
+
+
+async def run(args: argparse.Namespace) -> None:
+    overrides = {}
+    if args.verifier_environments is not None:
+        overrides["verifier_environments"] = args.verifier_environments
+    if args.no_inductive:
+        overrides["inductive"] = False
+    options = PipelineOptions(**overrides) if overrides else None
+    service = LiftService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        workers=args.workers,
+        options=options,
+    )
+    await service.start()
+    sys.stdout.write(
+        '{"event": "listening", "host": "%s", "port": %d, "protocol": "%s"}\n'
+        % (service.host, service.port, PROTOCOL_VERSION)
+    )
+    sys.stdout.flush()
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(run(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

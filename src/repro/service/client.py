@@ -1,0 +1,94 @@
+"""A dependency-free blocking client for the lifting service.
+
+Deliberately plain ``socket`` + line framing, no asyncio: usable from
+scripts, subprocess smoke tests and notebooks without an event loop.
+One client holds one connection; requests on it serialize (submit more
+clients for concurrency — the server dedups identical in-flight work
+server-side anyway).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.protocol import (
+    TERMINAL_EVENTS,
+    ServiceError,
+    decode_line,
+    encode_line,
+)
+
+
+class ServiceClient:
+    """One blocking NDJSON connection to a running lift server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_line(message))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return decode_line(line)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        self._send({"op": "ping"})
+        return self._recv()
+
+    def stats(self) -> Dict[str, Any]:
+        self._send({"op": "stats"})
+        return self._recv()
+
+    def lift(
+        self,
+        source: str,
+        driver: str,
+        options: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one program and stream it to completion.
+
+        Returns the terminal event (``done`` with the manifest, or
+        ``error``); ``on_event`` observes every event including the
+        terminal one.  The full stream is kept on :attr:`last_events`
+        for callers that want the phase history afterwards.
+        """
+        request: Dict[str, Any] = {"op": "lift", "source": source, "driver": driver}
+        if options:
+            request["options"] = options
+        if name is not None:
+            request["name"] = name
+        self._send(request)
+        events: List[Dict[str, Any]] = []
+        while True:
+            event = self._recv()
+            events.append(event)
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") in TERMINAL_EVENTS:
+                self.last_events = events
+                return event

@@ -42,6 +42,12 @@ Hook sites wired into production code:
 ``schedule-publish`` :meth:`~repro.cache.schedules.ScheduleStore.put` entry
 ``schedule-record`` published tuned-schedule record (``truncate``)
 ``store-file``      synthesis store file after a save (``truncate``)
+``shard-append``    sharded-store append, lock held (key: shard name)
+``shard-log``       shard log after an append (``truncate`` = torn tail)
+``shard-compact``   before a shard compaction rewrite (key: shard name)
+``shard-file``      compacted shard log (``truncate``)
+``dedup-handoff``   service result handoff to deduped subscribers
+``runlog-append``   service run-log line about to be appended
 ``toolchain-compile`` :meth:`~repro.native.toolchain.Toolchain.compile`
 =================== =====================================================
 

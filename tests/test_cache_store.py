@@ -177,6 +177,21 @@ class TestStore:
         synthesize_kernel(kernel, seed=1, verifier_environments=1, cache=stale)
         assert counted_synthesis["count"] == 2
 
+    def test_version_mismatch_warns_with_discarded_count(self, tmp_path):
+        """Version skew is loud now: a StaleVersionWarning names the count."""
+        from repro.cache import StaleVersionWarning
+
+        path = tmp_path / "store.json"
+        seeded = SynthesisCache(path, autosave=False)
+        seeded.record_failure("a" * 64, "m1", "k1")
+        seeded.record_failure("b" * 64, "m2", "k2")
+        seeded.save()
+        with pytest.warns(StaleVersionWarning, match="discarding 2 stale"):
+            stale = SynthesisCache(path, code_version=CODE_VERSION + "-next")
+        assert len(stale) == 0
+        # The file is not quarantined — skew is invalidation, not damage.
+        assert path.is_file()
+
     def test_failure_is_cached(self, tmp_path, counted_synthesis):
         kernel = _kernel(TWO_POINT)
         cache = SynthesisCache(tmp_path / "store.json")

@@ -15,14 +15,22 @@ acceptance criteria of the fault-tolerance layer:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
-from repro.cache import ArtifactStore, CacheIntegrityWarning, FileLock, SynthesisCache
+from repro.cache import (
+    ArtifactStore,
+    CacheIntegrityWarning,
+    FileLock,
+    ShardedStore,
+    SynthesisCache,
+)
 from repro.pipeline import (
     BatchScheduler,
     FaultPolicy,
@@ -398,7 +406,7 @@ class TestLockFaults:
         store = ArtifactStore(tmp_path / "arts", lock_timeout=0.2)
         built = tmp_path / "built.so"
         built.write_bytes(b"\x7fELF fake artifact bytes")
-        holder = FileLock(tmp_path / "arts" / ".lock")
+        holder = FileLock(store.publish_lock_path("k" * 64))
         holder.acquire()
         try:
             published = store.put("k" * 64, built)
@@ -441,6 +449,69 @@ class TestTornWrites:
         second = BatchScheduler(OPTIONS, pool_size=2, cache=cache).lift_cases(CASES)
         assert _signatures(second.reports) == reference
         assert len(SynthesisCache(path)) == 3  # the store healed
+
+
+class TestShardFaults:
+    """Fault-matrix rows for the sharded store: a torn shard append
+    loses only its own line, and a failed compaction never loses an
+    already-durable append."""
+
+    def test_torn_shard_append_degrades_and_heals(
+        self, reference, tmp_path, monkeypatch
+    ):
+        spec = write_spec(
+            tmp_path / "faults.json",
+            tmp_path / "state",
+            [{"site": "shard-log", "kind": "truncate", "occurrences": [1]}],
+        )
+        monkeypatch.setenv(ENV_VAR, str(spec))
+        path = tmp_path / "store"  # no .json suffix: sharded backend
+        first = BatchScheduler(
+            OPTIONS, pool_size=2, cache=SynthesisCache(path, autosave=False)
+        ).lift_cases(CASES)
+        assert _signatures(first.reports) == reference  # results unharmed
+
+        # Unlike the single-file store (whole file quarantined, fully
+        # cold), only the torn line is lost: the next load warns, skips
+        # it, and every other shard's entries survive.
+        with pytest.warns(CacheIntegrityWarning, match="torn appends"):
+            cache = SynthesisCache(path, autosave=False)
+        assert 0 < len(cache) < len(CASES)
+
+        second = BatchScheduler(OPTIONS, pool_size=2, cache=cache).lift_cases(CASES)
+        assert _signatures(second.reports) == reference
+        # The damaged line lingers until compaction, so the reload still
+        # warns — but every entry is back.
+        with pytest.warns(CacheIntegrityWarning, match="torn appends"):
+            healed = SynthesisCache(path)
+        assert len(healed) == len(CASES)
+
+    def test_compaction_fault_keeps_append_only_log(self, tmp_path, monkeypatch):
+        spec = write_spec(
+            tmp_path / "faults.json",
+            tmp_path / "state",
+            [{"site": "shard-compact", "kind": "raise", "occurrences": [1]}],
+        )
+        monkeypatch.setenv(ENV_VAR, str(spec))
+        store = ShardedStore(
+            tmp_path / "store", compact_min_records=4, compact_factor=2
+        )
+        fp = hashlib.sha256(b"hot-entry").hexdigest()
+        for round_ in range(3):
+            store.append({fp: {"status": "ok", "round": round_}})
+        # The 4th append crosses the compaction threshold; the injected
+        # fault aborts the rewrite but the append itself is durable.
+        with pytest.warns(CacheIntegrityWarning, match="shard compaction failed"):
+            store.append({fp: {"status": "ok", "round": 3}})
+        assert store.load_all(warn=False)[fp] == {"status": "ok", "round": 3}
+        assert store.record_count() == 4  # uncompacted log kept intact
+        assert store.compactions == 0
+
+        # The next append retries compaction (occurrence 2 passes).
+        store.append({fp: {"status": "ok", "round": 4}})
+        assert store.compactions == 1
+        assert store.record_count() == 1
+        assert store.load_all(warn=False)[fp] == {"status": "ok", "round": 4}
 
 
 # ---------------------------------------------------------------------------
@@ -552,8 +623,8 @@ class TestArtifactIntegrity:
         with pytest.warns(CacheIntegrityWarning, match="digest mismatch"):
             assert store.get(self.KEY) is None
         assert store.misses == 1
-        assert (tmp_path / "arts" / f"{self.KEY}.so.corrupt-1").exists()
-        assert (tmp_path / "arts" / f"{self.KEY}.json.corrupt-1").exists()
+        assert Path(f"{store.so_path(self.KEY)}.corrupt-1").exists()
+        assert Path(f"{store.meta_path(self.KEY)}.corrupt-1").exists()
         # Quarantine-then-recompile: a fresh publication works and loads.
         self._publish(store, tmp_path)
         assert store.get(self.KEY) is not None

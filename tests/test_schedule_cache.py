@@ -12,6 +12,7 @@ explode if touched.
 
 from __future__ import annotations
 
+from pathlib import Path
 from types import SimpleNamespace
 
 import pytest
@@ -128,7 +129,7 @@ class TestScheduleStore:
             assert store.get(key) is None
         assert store.misses == 1
         assert not path.exists()
-        assert (tmp_path / "schedules" / f"{key}.json.corrupt-1").exists()
+        assert Path(f"{path}.corrupt-1").exists()
         # Republishing heals the store.
         store.put(key, _record(Schedule.default()))
         assert store.get(key) is not None

@@ -1,0 +1,96 @@
+"""End-to-end service smoke: a real server process, a real mini-app.
+
+This is the CI service-smoke job's substance: boot ``python -m
+repro.service`` as a subprocess on an ephemeral port, submit
+``cloverleaf_mini`` over the wire, assert the full phase stream and a
+sane manifest, then submit it again and *prove* the duplicate was warm
+(zero synthesis — ``cache.misses == 0`` — served from the sharded
+store on disk) and bookkeeping recorded both requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.service.runlog import RunLog
+from repro.suites.apps import mini_app
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+@pytest.fixture()
+def server(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--store",
+            str(tmp_path / "service"),
+            "--no-inductive",
+            "--verifier-environments",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        listening = json.loads(line)
+        assert listening["event"] == "listening"
+        yield listening["host"], listening["port"], tmp_path / "service"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+class TestServiceSmoke:
+    def test_cloverleaf_cold_then_warm_duplicate(self, server):
+        host, port, store_dir = server
+        app = mini_app("cloverleaf_mini")
+        with ServiceClient(host, port, timeout=600.0) as client:
+            cold = client.lift(app.source, app.driver, name=app.name)
+            phases = [
+                e["phase"] for e in client.last_events if e["event"] == "phase"
+            ]
+        assert phases == ["scan", "lift", "prove", "translate"]
+        assert cold["event"] == "done"
+        counts = cold["manifest"]["counts"]
+        assert counts["translated"] >= 1
+        assert counts["sites"] == counts["translated"] + counts["fallback"]
+        assert cold["cache"]["misses"] >= 1  # the cold run synthesized
+
+        # The duplicate is served warm from the sharded store: zero
+        # synthesis, and the sharded synthesis directory really exists.
+        with ServiceClient(host, port, timeout=600.0) as client:
+            warm = client.lift(app.source, app.driver, name=app.name)
+        assert warm["event"] == "done"
+        assert warm["fingerprint"] == cold["fingerprint"]
+        assert warm["cache"]["misses"] == 0
+        assert warm["manifest"] == cold["manifest"]
+        assert list((store_dir / "synthesis").glob("shard-*.jsonl"))
+
+        # The record is appended after the terminal event is streamed,
+        # so give the server a moment to finish its bookkeeping.
+        deadline = time.monotonic() + 30.0
+        while True:
+            records = RunLog(store_dir / "runlog.jsonl").read_all()
+            if len(records) >= 2 or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert len(records) == 2
+        assert records[0]["cache_misses"] >= 1
+        assert records[1]["cache_misses"] == 0
+        assert all(r["application"] == app.name for r in records)
