@@ -160,12 +160,14 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
 
     levels = verification_level_counts([tk.report for tk in bundle.translated])
     biggest = report.runs[-1]
+    demotion_reasons = bundle.manifest()["counts"]["demotion_reasons"]
     payload = {
         "application": app.name,
         "backend": backend,
         "kernels_total": bundle.sites_total,
         "kernels_lifted": len(bundle.translated),
         "kernels_fallback": len(bundle.fallbacks),
+        "demotion_reasons": demotion_reasons,
         "verification_levels": levels,
         "translate_seconds": bundle.translate_seconds,
         "warm_cache_misses": warm.cache_misses,
@@ -177,6 +179,11 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
             "warm_replayed": len(warm_measured),
             "warm_measurements": sum(m.evaluations for m in warm_measured.values()),
             "warm_compiles": len(compile_calls),
+        },
+        "schedule_pruning": {
+            "pruned_illegal": sum(m.pruned_illegal for m in cold_measured.values()),
+            "pruned_duplicate": sum(m.pruned_duplicate for m in cold_measured.values()),
+            "measured_evaluations": sum(m.evaluations for m in cold_measured.values()),
         },
         "largest_grid": {
             "grid": biggest.grid,
@@ -209,6 +216,13 @@ def test_whole_application_translation(benchmark, capsys, tmp_path):
             f"kernels: {payload['kernels_lifted']}/{payload['kernels_total']} lifted "
             f"({payload['kernels_fallback']} fallback)  levels: {levels}  "
             f"backend: {backend}"
+        )
+        print(f"demotion reasons: {demotion_reasons}")
+        pruning = payload["schedule_pruning"]
+        print(
+            f"schedule pruning: {pruning['pruned_illegal']} illegal proposals "
+            f"skipped, {pruning['pruned_duplicate']} duplicate traversals "
+            f"replayed, {pruning['measured_evaluations']} real measurements"
         )
         for run in report.runs:
             status = "bit-identical" if run.identical else "MISMATCH"

@@ -21,7 +21,9 @@ This is the single-kernel story; for translating *whole applications*
 execute) see docs/application_translation.md and
 ``examples/lift_cloverleaf.py``.  Scheduled execution here uses the
 Python backends (docs/scheduled_execution.md covers the loop-nest IR,
-the compile-ahead concurrent tuner and the tuned-schedule store); when
+the compile-ahead concurrent tuner and the tuned-schedule store;
+docs/static_analysis.md covers the dependence/legality/liveness
+analyses that gate which schedules may run at all); when
 a C toolchain is present the same nests can run through the native
 compiled-C backend — multithreaded, with a content-addressed artifact
 cache — see docs/native_execution.md.  Batch runs over whole

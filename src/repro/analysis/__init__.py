@@ -1,0 +1,50 @@
+"""Static analyses over the lifting pipeline's IRs.
+
+* :mod:`repro.analysis.presburger` — the shared Fourier–Motzkin
+  integer engine (extracted from the Tier-3 inductive prover).
+* :mod:`repro.analysis.dependence` — array dependence analysis
+  (distance/direction vectors) over lowered IR kernels.
+* :mod:`repro.analysis.legality` — schedule-legality certification for
+  ``(Func, Schedule)`` pairs, including the race check gating the
+  native backend's threaded emission.
+* :mod:`repro.analysis.liveness` — backward scalar liveness over
+  Fortran procedure bodies (the application scanner's observability
+  check).
+* :mod:`repro.analysis.lint` — ``python -m repro.analysis.lint``, the
+  corpus-wide report and CI gate.
+
+Shared contract: every analysis is *soundly incomplete* — precision
+may be lost (``Unknown``, ``TOP``, an unpruned schedule) but a positive
+claim (``no dependence``, ``LEGAL``, ``dead``) is always a proof.
+"""
+
+from repro.analysis.dependence import Dependence, DependenceSummary, analyze_kernel
+from repro.analysis.legality import (
+    ILLEGAL,
+    LEGAL,
+    UNKNOWN,
+    LegalityReport,
+    ScheduleChecker,
+    ScheduleLegalityError,
+    canonical_key,
+    certify,
+    parallel_band_race_free,
+)
+from repro.analysis.liveness import LivenessResult, scalars_live_after
+
+__all__ = [
+    "Dependence",
+    "DependenceSummary",
+    "analyze_kernel",
+    "LEGAL",
+    "ILLEGAL",
+    "UNKNOWN",
+    "LegalityReport",
+    "ScheduleChecker",
+    "ScheduleLegalityError",
+    "canonical_key",
+    "certify",
+    "parallel_band_race_free",
+    "LivenessResult",
+    "scalars_live_after",
+]

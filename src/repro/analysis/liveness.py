@@ -1,0 +1,159 @@
+"""Backward scalar liveness over Fortran procedure bodies.
+
+The application scanner must decide whether the scalar temporaries a
+loop nest assigns are *observable* after the nest — if they are, the
+lifted summary (which does not produce them) cannot replace the span.
+The original heuristic demoted a site whenever a temporary's **name was
+mentioned anywhere** after the span, which confuses a later *re-definition*
+with a later *read*: writing ``t = 0`` after the nest mentions ``t``
+but observes nothing.
+
+This pass computes real liveness: a backward may-analysis over the
+statement list with the classic transfer functions —
+
+* scalar assignment kills its target and generates its right-hand side
+  (and any subscript reads);
+* ``do`` loops run to an inner fixpoint with the back edge joined in,
+  kill their counter, and stay sound for zero-trip loops because the
+  loop exit always flows into the loop entry's successors;
+* ``if`` joins both branches and generates the condition;
+* ``call`` generates every argument and kills nothing (arguments pass
+  by reference);
+* unstructured control flow (``goto``/``exit``/``cycle``/``return``)
+  degrades to ``TOP`` — *everything live* — because the jump target is
+  not tracked.  Procedure parameters are live at exit (the caller
+  observes them through the reference).
+
+``TOP`` is the conservative escape hatch of the analysis lattice, the
+same contract as everywhere in :mod:`repro.analysis`: precision lost is
+safety kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from repro.frontend.ast import (
+    Assignment,
+    CallStmt,
+    ControlStmt,
+    Declaration,
+    DoLoop,
+    FExpr,
+    FStmt,
+    IfBlock,
+    Procedure,
+    Ref,
+)
+
+#: Lattice top: every name must be assumed live.  Transfer functions
+#: propagate it unchanged — once control flow is untracked, stay sound.
+TOP = None
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Liveness at one program point.  ``top`` means "assume all live"."""
+
+    live: FrozenSet[str]
+    top: bool = False
+
+    def is_live(self, name: str) -> bool:
+        return self.top or name in self.live
+
+    def restrict(self, names: Iterable[str]) -> FrozenSet[str]:
+        """The subset of ``names`` that is (possibly) live here."""
+        names = frozenset(names)
+        return names if self.top else names & self.live
+
+
+def _uses(expr: FExpr) -> Set[str]:
+    """Every name an expression may read (scalars, arrays, intrinsics)."""
+    out: Set[str] = set()
+    stack: List[FExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Ref):
+            out.add(node.name)
+            stack.extend(node.subscripts)
+        else:
+            for attr in ("left", "right", "operand"):
+                child = getattr(node, attr, None)
+                if child is not None:
+                    stack.append(child)
+            operands = getattr(node, "operands", None)
+            if operands is not None:
+                stack.extend(operands)
+    return out
+
+
+def _stmt_transfer(stmt: FStmt, live: Optional[Set[str]]) -> Optional[Set[str]]:
+    if live is TOP:
+        return TOP
+    if isinstance(stmt, Assignment):
+        out = set(live)
+        if not stmt.target.subscripts:
+            out.discard(stmt.target.name)  # scalar target: a must-kill
+        else:
+            for sub in stmt.target.subscripts:
+                out |= _uses(sub)
+        out |= _uses(stmt.value)
+        return out
+    if isinstance(stmt, DoLoop):
+        return _loop_transfer(stmt, live)
+    if isinstance(stmt, IfBlock):
+        then_in = _block_transfer(stmt.then_body, set(live))
+        else_in = _block_transfer(stmt.else_body, set(live))
+        if then_in is TOP or else_in is TOP:
+            return TOP
+        return then_in | else_in | _uses(stmt.condition)
+    if isinstance(stmt, CallStmt):
+        out = set(live)
+        for arg in stmt.args:
+            out |= _uses(arg)  # by-reference: read and written, no kill
+        return out
+    if isinstance(stmt, ControlStmt):
+        return TOP
+    if isinstance(stmt, Declaration):
+        return set(live)
+    return TOP  # a statement kind this analysis predates: stay sound
+
+
+def _loop_transfer(loop: DoLoop, live_after: Set[str]) -> Optional[Set[str]]:
+    bound_uses = _uses(loop.lower) | _uses(loop.upper)
+    if loop.step is not None:
+        bound_uses |= _uses(loop.step)
+    body_in: Set[str] = set()
+    while True:
+        out = live_after | body_in
+        new_in = _block_transfer(loop.body, set(out))
+        if new_in is TOP:
+            return TOP
+        if new_in == body_in:
+            break
+        body_in = new_in  # grows monotonically: terminates
+    before = (live_after | body_in) - {loop.var}
+    return before | bound_uses
+
+
+def _block_transfer(stmts: List[FStmt], live: Optional[Set[str]]) -> Optional[Set[str]]:
+    for stmt in reversed(stmts):
+        live = _stmt_transfer(stmt, live)
+        if live is TOP:
+            return TOP
+    return live
+
+
+def scalars_live_after(proc: Procedure, position: int) -> LivenessResult:
+    """Liveness right after ``proc.body[position - 1]`` (i.e. at the
+    entry of ``proc.body[position:]``).
+
+    Parameters are live at procedure exit: Fortran passes by reference,
+    so a caller observes every parameter's final value.
+    """
+    at_exit: Set[str] = set(proc.params)
+    live = _block_transfer(proc.body[position:], at_exit)
+    if live is TOP:
+        return LivenessResult(frozenset(), top=True)
+    return LivenessResult(frozenset(live))

@@ -114,18 +114,27 @@ def _names_mentioned(stmts) -> set:
     return names
 
 
-def _live_scalar_temporaries(proc: Procedure, loops: List[DoLoop], end: int) -> set:
+def _live_scalar_temporaries(
+    proc: Procedure, loops: List[DoLoop], end: int, precise: bool = True
+) -> set:
     """Scalar temporaries whose post-loop values are observable.
 
     Substitution replays loop *counters* but not scalar temporaries
     (the rotation scalars of hand-optimised kernels); a temporary whose
-    value can be seen after the span — mentioned in a later statement,
-    or a procedure parameter (written back to the caller) — makes the
-    site unsafe to substitute.
+    value can be seen after the span makes the site unsafe to
+    substitute.  ``precise`` runs the backward liveness pass
+    (:mod:`repro.analysis.liveness`) — a temporary merely *mentioned*
+    later (say, re-initialised) is dead, and the site lifts; the legacy
+    heuristic treated any later mention of the name, and any parameter,
+    as observable.
     """
     assigned = _assigned_scalars(loops)
     if not assigned:
         return set()
+    if precise:
+        from repro.analysis.liveness import scalars_live_after
+
+        return set(scalars_live_after(proc, end).restrict(assigned))
     observable = set(proc.params) | _names_mentioned(proc.body[end:])
     return assigned & observable
 
@@ -134,12 +143,13 @@ def _close_site(
     proc: Procedure,
     pending: List[Tuple[int, DoLoop]],
     site_index: int,
+    precise_liveness: bool = True,
 ) -> LoopSite:
     """Build the site for a run of consecutive filter-passing loops."""
     start = pending[0][0]
     end = pending[-1][0] + 1
     loops = [loop for _pos, loop in pending]
-    live_scalars = _live_scalar_temporaries(proc, loops, end)
+    live_scalars = _live_scalar_temporaries(proc, loops, end, precise_liveness)
     if live_scalars:
         return LoopSite(
             procedure=proc.name,
@@ -177,8 +187,14 @@ def _close_site(
     )
 
 
-def scan_application(program: Program) -> ApplicationScan:
-    """Scan every procedure for loop sites, liftable or not."""
+def scan_application(program: Program, precise_liveness: bool = True) -> ApplicationScan:
+    """Scan every procedure for loop sites, liftable or not.
+
+    ``precise_liveness`` selects the static liveness pass for the
+    scalar-observability check (the default); ``False`` restores the
+    name-mention heuristic, kept for comparison and for the lint CLI's
+    demotion-delta report.
+    """
     scan = ApplicationScan(program=program)
     for proc in program.procedures:
         pending: List[Tuple[int, DoLoop]] = []
@@ -188,7 +204,9 @@ def scan_application(program: Program) -> ApplicationScan:
             nonlocal site_index
             if not pending:
                 return
-            scan.sites.append(_close_site(proc, pending, site_index))
+            scan.sites.append(
+                _close_site(proc, pending, site_index, precise_liveness)
+            )
             site_index += 1
             pending.clear()
 

@@ -158,6 +158,20 @@ class ApplicationBundle:
             }
             for fb in self.fallbacks
         ]
+        from repro.analysis.lint import classify_demotion
+
+        # Scanner rejections bucket by *why* the static analysis said no
+        # (scalar-observability / lowering / filter); infrastructure
+        # demotions keep their kind so a crash never masquerades as an
+        # analysis limitation.
+        demotion_reasons: Dict[str, int] = {}
+        for fb in self.fallbacks:
+            bucket = (
+                classify_demotion([fb.reason])
+                if fb.kind == "unliftable"
+                else fb.kind
+            )
+            demotion_reasons[bucket] = demotion_reasons.get(bucket, 0) + 1
         return {
             "application": self.name,
             "driver": self.driver,
@@ -167,6 +181,7 @@ class ApplicationBundle:
                 "sites": self.sites_total,
                 "translated": len(self.translated),
                 "fallback": len(self.fallbacks),
+                "demotion_reasons": demotion_reasons,
                 "verification_levels": verification_level_counts(
                     [tk.report for tk in self.translated]
                 ),

@@ -45,7 +45,16 @@ Objective = Callable[[Schedule], float]
 
 @dataclass
 class AutotuneResult:
-    """Outcome of one tuning run."""
+    """Outcome of one tuning run.
+
+    ``evaluations`` keeps its historical meaning — budget consumed,
+    including candidates whose cost was *replayed* from the dedup cache
+    rather than re-measured.  ``pruned_illegal`` counts proposals the
+    static legality checker rejected before any compile or measurement;
+    ``pruned_duplicate`` counts replayed candidates.  The objective's
+    own counter (``objective.evaluations`` for measured objectives) is
+    what actually shrinks when pruning bites.
+    """
 
     best_schedule: Schedule
     best_cost: float
@@ -53,6 +62,8 @@ class AutotuneResult:
     evaluations: int
     technique_wins: Dict[str, int] = field(default_factory=dict)
     history: List[float] = field(default_factory=list)
+    pruned_illegal: int = 0
+    pruned_duplicate: int = 0
 
     @property
     def improvement(self) -> float:
@@ -73,13 +84,27 @@ class MultiArmedBanditTuner:
         epsilon: float = 0.25,
         window: int = 20,
         seed: int = 0,
+        legality=None,
     ):
+        """``legality`` is an optional
+        :class:`repro.analysis.legality.ScheduleChecker`.  With one
+        attached the tuner (a) rejects statically-illegal proposals
+        before spending any compile/measure budget on them and (b)
+        replays the cached cost of a traversal it has already measured
+        (two distinct ``Schedule`` values lowering to the same nest)
+        instead of measuring it again.  The candidate stream, rewards
+        and incumbent match the unchecked run exactly — the pruning is
+        observable only in the objective's evaluation count and the
+        ``pruned_*`` fields of the result.  ``None`` keeps legacy
+        behavior bit for bit.
+        """
         self.space = space
         self.objective = objective
         self.techniques = list(techniques) if techniques else [factory() for factory in DEFAULT_TECHNIQUES]
         self.epsilon = epsilon
         self.window = window
         self.rng = random.Random(seed)
+        self.legality = legality
         self._recent_rewards: Dict[str, List[float]] = {t.name: [] for t in self.techniques}
 
     # -- bandit -----------------------------------------------------------
@@ -120,16 +145,36 @@ class MultiArmedBanditTuner:
 
     def _tune_serial(self, budget: int) -> AutotuneResult:
         """The classic propose-measure-reward loop, one candidate at a time."""
+        measured_costs: Dict[tuple, float] = {}
+        pruned = {"illegal": 0, "duplicate": 0}
+
+        def evaluate(schedule: Schedule) -> float:
+            if self.legality is None:
+                return self.objective(schedule)
+            key = self.legality.key(schedule)
+            if key in measured_costs:
+                pruned["duplicate"] += 1
+                return measured_costs[key]
+            cost = self.objective(schedule)
+            measured_costs[key] = cost
+            return cost
+
         default = self.space.default_schedule()
-        default_cost = self.objective(default)
+        default_cost = evaluate(default)
+        best_schedule, best_cost = default, default_cost
         start = self.space.sensible_schedule()
-        best_schedule = start
-        best_cost = self.objective(start)
-        if default_cost < best_cost:
-            best_schedule, best_cost = default, default_cost
+        evaluations = 1
+        if self.legality is None or self.legality.is_legal(start):
+            start_cost = evaluate(start)
+            evaluations += 1
+            # The sensible seed wins ties, matching the historical loop
+            # (which seeded the incumbent with it before trying default).
+            if start_cost <= best_cost:
+                best_schedule, best_cost = start, start_cost
+        else:
+            pruned["illegal"] += 1
         wins: Dict[str, int] = {t.name: 0 for t in self.techniques}
         history: List[float] = [best_cost]
-        evaluations = 2
         while evaluations < budget:
             technique = self._pick_technique()
             candidate = technique.propose(self.space, best_schedule, self.rng)
@@ -138,7 +183,11 @@ class MultiArmedBanditTuner:
             except Exception:
                 self._reward(technique, 0.0)
                 continue
-            cost = self.objective(candidate)
+            if self.legality is not None and not self.legality.is_legal(candidate):
+                pruned["illegal"] += 1
+                self._reward(technique, 0.0)
+                continue
+            cost = evaluate(candidate)
             evaluations += 1
             improved = cost < best_cost
             self._reward(technique, 1.0 if improved else 0.0)
@@ -153,6 +202,8 @@ class MultiArmedBanditTuner:
             evaluations=evaluations,
             technique_wins=wins,
             history=history,
+            pruned_illegal=pruned["illegal"],
+            pruned_duplicate=pruned["duplicate"],
         )
 
     def _tune_pipelined(self, budget: int, depth: int) -> AutotuneResult:
@@ -175,13 +226,30 @@ class MultiArmedBanditTuner:
         best_cost = float("inf")
         default_cost = float("inf")
         measured = 0
+        measured_costs: Dict[tuple, float] = {}
+        pruned_illegal = 0
+        pruned_duplicate = 0
         with ThreadPoolExecutor(max_workers=depth, thread_name_prefix="repro-tune-compile") as pool:
             # Each entry: (technique or None for the seeds, schedule, future).
+            # ``future`` is either a pool future or a ("replay", cost)
+            # tuple when the canonical traversal was already timed —
+            # dedup is decided at submit time against *completed*
+            # measurements only, so the candidate stream stays identical
+            # to the unchecked run.
             pending: "deque[tuple[Optional[Technique], Schedule, object]]" = deque()
             submitted = 0
 
             def submit(technique: Optional[Technique], schedule: Schedule) -> None:
-                nonlocal submitted
+                nonlocal submitted, pruned_duplicate
+                if self.legality is not None:
+                    key = self.legality.key(schedule)
+                    if key in measured_costs:
+                        pruned_duplicate += 1
+                        pending.append(
+                            (technique, schedule, ("replay", measured_costs[key]))
+                        )
+                        submitted += 1
+                        return
                 pending.append(
                     (technique, schedule, pool.submit(self.objective.prepare, schedule))
                 )
@@ -189,7 +257,11 @@ class MultiArmedBanditTuner:
 
             submit(None, default)
             if submitted < budget:
-                submit(None, self.space.sensible_schedule())
+                sensible = self.space.sensible_schedule()
+                if self.legality is None or self.legality.is_legal(sensible):
+                    submit(None, sensible)
+                else:
+                    pruned_illegal += 1
             while pending:
                 while submitted < budget and len(pending) < depth:
                     technique = self._pick_technique()
@@ -199,10 +271,19 @@ class MultiArmedBanditTuner:
                     except Exception:
                         self._reward(technique, 0.0)
                         continue
+                    if self.legality is not None and not self.legality.is_legal(candidate):
+                        pruned_illegal += 1
+                        self._reward(technique, 0.0)
+                        continue
                     submit(technique, candidate)
                 technique, schedule, future = pending.popleft()
-                measurement = self.objective.measure_prepared(future.result())
-                cost = measurement.seconds
+                if isinstance(future, tuple) and future[0] == "replay":
+                    cost = future[1]
+                else:
+                    measurement = self.objective.measure_prepared(future.result())
+                    cost = measurement.seconds
+                    if self.legality is not None:
+                        measured_costs[self.legality.key(schedule)] = cost
                 measured += 1
                 if measured == 1:
                     default_cost = cost
@@ -222,6 +303,8 @@ class MultiArmedBanditTuner:
             evaluations=measured,
             technique_wins=wins,
             history=history,
+            pruned_illegal=pruned_illegal,
+            pruned_duplicate=pruned_duplicate,
         )
 
 

@@ -99,6 +99,21 @@ def lower(
         )
     schedule = schedule if schedule is not None else func.schedule
     schedule.validate(func.dimensions)
+    if schedule.parallel_dim is not None and not (
+        0 <= schedule.parallel_dim < func.dimensions
+    ):
+        raise ScheduleError(
+            f"cannot lower Func {func.name!r}: parallel dimension "
+            f"{schedule.parallel_dim} out of range for a "
+            f"{func.dimensions}-dimensional Func"
+        )
+    from repro.analysis.legality import ScheduleLegalityError, certify
+
+    legality = certify(func, schedule)
+    if not legality.legal:
+        # Unknown-is-conservative: only a certified-LEGAL traversal may
+        # deviate from the reference order.
+        raise ScheduleLegalityError(legality)
     known = {var.name for var in func.vars}
     for node in func.definition.walk():
         if isinstance(node, Var) and node.name not in known:

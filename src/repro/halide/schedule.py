@@ -108,12 +108,13 @@ class Schedule:
 
     # -- validation / description ----------------------------------------------
     def validate(self, dimensions: int) -> None:
-        """Raise :class:`ScheduleError` when the schedule does not fit the Func."""
-        if self.parallel_dim is not None and not (0 <= self.parallel_dim < dimensions):
-            raise ScheduleError(
-                f"parallel dimension {self.parallel_dim} out of range for a "
-                f"{dimensions}-dimensional Func"
-            )
+        """Raise :class:`ScheduleError` when the schedule does not fit the Func.
+
+        The ``parallel_dim`` range check lives in lowering
+        (:func:`repro.halide.lower.lower`), which is the first point
+        that knows it will actually build a parallel band — the error
+        message there names the Func being lowered.
+        """
         if self.tile_sizes and len(self.tile_sizes) != dimensions:
             raise ScheduleError(
                 f"tile_sizes has {len(self.tile_sizes)} entries but the Func has "

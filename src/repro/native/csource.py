@@ -38,9 +38,18 @@ to serial execution by construction, for any thread count.  Strict
 bounds errors keep serial semantics too: every worker stops its slab at
 the slab's first error in traversal order, and the entry point scans
 the slabs *in serial order* after joining, so the reported ``err``
-triple is the one serial execution would have reported.  A parallel
-loop that is not outermost keeps the serial emission below (still
-bit-identical, just not threaded).
+triple is the one serial execution would have reported.
+
+A parallel band that is *not* outermost (``dim_order`` placed other
+axes outside it) is threaded too, but only when the static analyzer
+certifies it: :func:`repro.analysis.legality.parallel_band_race_free`
+must prove the schedule legal and the band's bounds entry-scope pure.
+Each worker then runs the whole nest with the band clamped to its slab
+— enclosing loops are re-executed per worker, every output point is
+still written exactly once — and strict-bounds errors carry a
+band-entry ordinal so the entry point can report the serially-first
+one.  An uncertified non-root band keeps the serial emission below
+(still bit-identical, just not threaded).
 
 Bit-identity with the Python backends is by construction, not by luck:
 
@@ -175,9 +184,13 @@ class _CEmitter:
         self.strict = strict_bounds
         self.threaded = threaded
         self.uses_pthreads = False
-        # When set, the root (parallel) loop iterates this (lower, upper)
-        # pair instead of its own bounds — used by the per-slab worker.
-        self._root_override: "Tuple[str, str] | None" = None
+        # When set, ``_parallel_loop`` iterates this (lower, upper) pair
+        # instead of its own bounds — used by the per-slab worker.
+        self._parallel_loop: "Loop | None" = None
+        self._parallel_override: "Tuple[str, str] | None" = None
+        # Non-root threaded workers track a serial-order ordinal so the
+        # entry point can pick the serially-first strict-bounds error.
+        self._ordinal = False
         self.lines: List[str] = []
         self.temp_count = 0
         self.images = _collect_images(self.func.definition)
@@ -328,19 +341,35 @@ class _CEmitter:
             self.emit(f"const int64_t pi{position} = (int64_t)params[{position}];", depth)
             self.emit(f"(void)pv{position}; (void)pi{position};", depth)
 
+    def _find_parallel_loop(self) -> "Loop | None":
+        node: Union[Loop, ComputeSpan] = self.nest.root
+        while isinstance(node, Loop):
+            if node.kind == "parallel":
+                return node
+            node = node.body
+        return None
+
     def emit_kernel(self) -> None:
         root = self.nest.root
         self.emit(f"/* kernel {self.func.name}: [{self.nest.schedule.describe()}] */", 0)
-        if (
-            self.threaded
-            and isinstance(root, Loop)
-            and root.kind == "parallel"
-            and root.chunks > 1
-        ):
-            self.uses_pthreads = True
-            self._emit_threaded_kernel(root)
-        else:
-            self._emit_serial_kernel()
+        parallel = self._find_parallel_loop()
+        if self.threaded and parallel is not None and parallel.chunks > 1:
+            if parallel is root:
+                self.uses_pthreads = True
+                self._emit_threaded_kernel(root)
+                return
+            # A parallel band below the root (dim_order put other axes
+            # outside it) may still be threaded, but only when the
+            # static race check certifies the schedule and the band's
+            # bounds are entry-scope pure; otherwise fall back to the
+            # (still bit-identical) serial emission.
+            from repro.analysis.legality import parallel_band_race_free
+
+            if parallel_band_race_free(self.nest):
+                self.uses_pthreads = True
+                self._emit_threaded_nonroot_kernel(parallel)
+                return
+        self._emit_serial_kernel()
 
     def _emit_serial_kernel(self) -> None:
         self.emit(
@@ -373,9 +402,11 @@ class _CEmitter:
         self.emit("int64_t ck_lo, int64_t ck_hi)", 5)
         self.emit("{", 0)
         self._emit_prologue(1)
-        self._root_override = ("ck_lo", "ck_hi")
+        self._parallel_loop = root
+        self._parallel_override = ("ck_lo", "ck_hi")
         self._emit_node(root, 1, {})
-        self._root_override = None
+        self._parallel_override = None
+        self._parallel_loop = None
         self.emit("return 0;", 1)
         self.emit("}", 0)
         self.emit("", 0)
@@ -459,11 +490,139 @@ class _CEmitter:
         self.emit("return 0;", 1)
         self.emit("}", 0)
 
+    def _emit_threaded_nonroot_kernel(self, parallel: Loop) -> None:
+        """Thread a parallel band that sits *below* the nest's root.
+
+        Each worker runs the *entire* nest with the parallel band
+        clamped to one step-aligned slab, so the enclosing loops are
+        re-executed per slab while every output point is still computed
+        exactly once (the slabs partition the band's range, the band's
+        axis selects distinct output coordinates, and the legality
+        certificate — checked by the caller via
+        :func:`repro.analysis.legality.parallel_band_race_free` —
+        guarantees no cross-slab value dependence).  The band's bounds
+        are entry-scope pure (also certified), so the slab partition can
+        be computed once, before dispatch.
+
+        Strict-bounds errors keep serial semantics: a worker records the
+        band-entry ordinal alongside its first error (``err[3]``,
+        task-local only — the entry ABI stays three-wide), and the entry
+        point picks the failing task with the smallest
+        ``(ordinal, slab)`` pair, which is the error serial execution
+        would have hit first.
+        """
+        chunks = parallel.chunks
+        step = parallel.step
+        self.emit("static int64_t rk_chunk(const int64_t* lo, const int64_t* hi,", 0)
+        self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
+        self.emit("const double* params, double* out, int64_t* err,", 5)
+        self.emit("int64_t ck_lo, int64_t ck_hi)", 5)
+        self.emit("{", 0)
+        self._emit_prologue(1)
+        if self.strict:
+            self.emit("int64_t rk_pos = 0;", 1)
+        self._parallel_loop = parallel
+        self._parallel_override = ("ck_lo", "ck_hi")
+        self._ordinal = self.strict
+        self._emit_node(self.nest.root, 1, {})
+        self._ordinal = False
+        self._parallel_override = None
+        self._parallel_loop = None
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+        self.emit("", 0)
+        self.emit("typedef struct {", 0)
+        self.emit("const int64_t* lo; const int64_t* hi;", 1)
+        self.emit("double* const* bufs; const int64_t* borig; const int64_t* bext;", 1)
+        self.emit("const double* params; double* out;", 1)
+        self.emit("int64_t ck_lo; int64_t ck_hi;", 1)
+        self.emit("int64_t rc; int64_t err[4];", 1)
+        self.emit("} rk_task_t;", 0)
+        self.emit("", 0)
+        self.emit("typedef struct {", 0)
+        self.emit("rk_task_t* tasks; int64_t ntasks; int64_t tid; int64_t stride;", 1)
+        self.emit("} rk_worker_arg_t;", 0)
+        self.emit("", 0)
+        self.emit("static void* rk_worker(void* argp) {", 0)
+        self.emit("rk_worker_arg_t* arg = (rk_worker_arg_t*)argp;", 1)
+        self.emit("for (int64_t i = arg->tid; i < arg->ntasks; i += arg->stride) {", 1)
+        self.emit("rk_task_t* t = &arg->tasks[i];", 2)
+        self.emit("t->rc = rk_chunk(t->lo, t->hi, t->bufs, t->borig, t->bext,", 2)
+        self.emit("t->params, t->out, t->err, t->ck_lo, t->ck_hi);", 6)
+        self.emit("}", 1)
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+        self.emit("", 0)
+        self.emit(
+            f"int64_t {ENTRY_SYMBOL}(const int64_t* lo, const int64_t* hi,", 0
+        )
+        self.emit("double* const* bufs, const int64_t* borig, const int64_t* bext,", 5)
+        self.emit("const double* params, double* out, int64_t* err, int64_t threads)", 5)
+        self.emit("{", 0)
+        self.emit(f"const int64_t p_lo = {self.bound(parallel.lower)};", 1)
+        self.emit(f"const int64_t p_hi = {self.bound(parallel.upper)};", 1)
+        self.emit(f"rk_task_t tasks[{chunks}];", 1)
+        self.emit("int64_t ntasks = 0;", 1)
+        self.emit("if (p_lo <= p_hi) {", 1)
+        self.emit(f"const int64_t iters = (p_hi - p_lo) / {step} + 1;", 2)
+        self.emit(f"const int64_t per_chunk = ((iters + {chunks - 1}) / {chunks}) * {step};", 2)
+        self.emit("for (int64_t start = p_lo; start <= p_hi; start += per_chunk) {", 2)
+        self.emit("rk_task_t* t = &tasks[ntasks];", 3)
+        self.emit("t->lo = lo; t->hi = hi; t->bufs = bufs; t->borig = borig; t->bext = bext;", 3)
+        self.emit("t->params = params; t->out = out;", 3)
+        self.emit("t->ck_lo = start;", 3)
+        self.emit(f"t->ck_hi = rk_imin(start + per_chunk - {step}, p_hi);", 3)
+        self.emit("t->rc = 0; t->err[0] = 0; t->err[1] = 0; t->err[2] = 0; t->err[3] = 0;", 3)
+        self.emit("ntasks++;", 3)
+        self.emit("}", 2)
+        self.emit("}", 1)
+        self.emit("int64_t nthreads = threads < 1 ? 1 : threads;", 1)
+        self.emit("if (nthreads > ntasks) nthreads = ntasks;", 1)
+        self.emit("if (nthreads <= 1) {", 1)
+        # One full-range worker call *is* serial execution, enclosing
+        # loops included — the first error it reports is serial-first.
+        self.emit("int64_t werr[4] = {0, 0, 0, 0};", 2)
+        self.emit("if (rk_chunk(lo, hi, bufs, borig, bext, params, out, werr, p_lo, p_hi) != 0) {", 2)
+        self.emit("err[0] = werr[0]; err[1] = werr[1]; err[2] = werr[2];", 3)
+        self.emit("return 1;", 3)
+        self.emit("}", 2)
+        self.emit("return 0;", 2)
+        self.emit("}", 1)
+        self.emit(f"pthread_t tids[{chunks}];", 1)
+        self.emit(f"rk_worker_arg_t wargs[{chunks}];", 1)
+        self.emit(f"int created[{chunks}];", 1)
+        self.emit("for (int64_t w = 0; w < nthreads; w++) {", 1)
+        self.emit("wargs[w].tasks = tasks; wargs[w].ntasks = ntasks;", 2)
+        self.emit("wargs[w].tid = w; wargs[w].stride = nthreads;", 2)
+        self.emit("created[w] = pthread_create(&tids[w], 0, rk_worker, &wargs[w]) == 0;", 2)
+        self.emit("if (!created[w]) rk_worker(&wargs[w]);", 2)
+        self.emit("}", 1)
+        self.emit("for (int64_t w = 0; w < nthreads; w++) {", 1)
+        self.emit("if (created[w]) pthread_join(tids[w], 0);", 2)
+        self.emit("}", 1)
+        self.emit("int64_t first = -1;", 1)
+        self.emit("for (int64_t i = 0; i < ntasks; i++) {", 1)
+        self.emit("if (tasks[i].rc != 0 && (first < 0 || tasks[i].err[3] < tasks[first].err[3])) {", 2)
+        self.emit("first = i;", 3)
+        self.emit("}", 2)
+        self.emit("}", 1)
+        self.emit("if (first >= 0) {", 1)
+        self.emit("err[0] = tasks[first].err[0]; err[1] = tasks[first].err[1]; err[2] = tasks[first].err[2];", 2)
+        self.emit("return 1;", 2)
+        self.emit("}", 1)
+        self.emit("return 0;", 1)
+        self.emit("}", 0)
+
     def _emit_node(self, node: Union[Loop, ComputeSpan], depth: int, coords: Dict[int, str]) -> None:
         if isinstance(node, ComputeSpan):
             raise HalideError("loop nest has no loops")
-        if node is self.nest.root and self._root_override is not None:
-            lower, upper = self._root_override
+        if node is self._parallel_loop and self._parallel_override is not None:
+            lower, upper = self._parallel_override
+            if self._ordinal:
+                # One ordinal per entry of the band (= per enclosing
+                # iteration): the serially-first strict-bounds error is
+                # the one with the smallest (ordinal, slab) pair.
+                self.emit("err[3] = rk_pos++;", depth)
         else:
             lower = self.bound(node.lower)
             upper = self.bound(node.upper)
@@ -471,8 +630,8 @@ class _CEmitter:
         # Parallel chunking is step-aligned and order-preserving
         # (chunk_ranges covers the exact serial sequence), so the chunked
         # loop and its serial equivalent compute identical results; a
-        # non-outermost parallel loop is emitted in its serial form (the
-        # outermost one is threaded by _emit_threaded_kernel).
+        # parallel loop that cannot be threaded is emitted in its serial
+        # form.
         self.emit(
             f"for (int64_t {var} = {lower}; {var} <= {upper}; {var} += {node.step}) {{",
             depth,
@@ -526,11 +685,12 @@ def emit_c_source(
 ) -> CSource:
     """Emit the C translation unit for one lowered loop nest.
 
-    ``threaded`` requests pthread dispatch of the outermost ``parallel``
-    chunk band (see the module docstring for why the result stays
+    ``threaded`` requests pthread dispatch of the ``parallel`` chunk
+    band (see the module docstring for why the result stays
     bit-identical to serial); it requires a toolchain compiled with
-    ``-pthread`` and is a no-op for nests whose outermost loop is not a
-    parallel band.  Raises :class:`NativeUnsupportedError` when the
+    ``-pthread`` and is a no-op for nests with no parallel band — or
+    with a non-root band the static race analysis cannot certify.
+    Raises :class:`NativeUnsupportedError` when the
     definition uses an operation without a bit-identical C twin (callers
     fall back to the generated-Python backend).
     """

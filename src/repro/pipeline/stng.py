@@ -130,6 +130,13 @@ class MeasuredPerformance:
     store (``PipelineOptions.schedule_dir``): the seconds are the ones
     recorded when the schedule was originally tuned, and
     ``evaluations`` is 0 because the warm run measured nothing.
+
+    ``pruned_illegal``/``pruned_duplicate`` report the static
+    schedule-legality pruner (:mod:`repro.analysis.legality`): proposals
+    rejected before any compile/measure, and canonical-duplicate
+    traversals replayed from the in-run cost cache.  ``evaluations`` is
+    the objective's own counter — actual measurements — so pruning
+    shows up as a drop there on a fixed tuning budget.
     """
 
     default_seconds: float
@@ -141,6 +148,8 @@ class MeasuredPerformance:
     verified: bool
     schedule: Optional["Schedule"] = None
     from_cache: bool = False
+    pruned_illegal: int = 0
+    pruned_duplicate: int = 0
 
 
 @dataclass
@@ -515,7 +524,12 @@ class STNGPipeline:
             artifacts=artifacts,
             threads=self.options.threads,
         )
-        tuner = MultiArmedBanditTuner(space, objective, seed=self.options.seed)
+        from repro.analysis.legality import ScheduleChecker
+
+        checker = ScheduleChecker(func, output=getattr(stencil, "array", None))
+        tuner = MultiArmedBanditTuner(
+            space, objective, seed=self.options.seed, legality=checker
+        )
         result = tuner.tune(budget=self.options.measure_budget)
         if store is not None and store_key is not None:
             from repro.cache.schedules import schedule_to_payload
@@ -541,6 +555,8 @@ class STNGPipeline:
             evaluations=objective.evaluations,
             verified=objective.all_verified,
             schedule=result.best_schedule,
+            pruned_illegal=result.pruned_illegal,
+            pruned_duplicate=result.pruned_duplicate,
         )
 
 

@@ -114,6 +114,31 @@ do j = jlo+1, jhi-1
 enddo
 end subroutine update_energy
 
+subroutine accelerate(ilo, ihi, jlo, jhi, xvel1, xvel, density0, yvel1, yvel, pressure)
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density0
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel1
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: pressure
+real (kind=8) :: stepbymass
+integer :: ilo, ihi
+integer :: jlo, jhi
+do j = jlo, jhi
+  do i = ilo, ihi
+    stepbymass = 0.5d0*density0(i, j)
+    xvel1(i, j) = xvel(i, j) + stepbymass
+  enddo
+enddo
+stepbymass = 0.0d0
+do j = jlo, jhi
+  do i = ilo, ihi
+    stepbymass = 0.25d0*pressure(i, j)
+    yvel1(i, j) = yvel(i, j) + stepbymass
+  enddo
+enddo
+end subroutine accelerate
+
 subroutine apply_floor(ilo, ihi, jlo, jhi, density1)
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
 integer :: ilo, ihi
@@ -142,7 +167,7 @@ do j = jhi, jlo, -1
 enddo
 end subroutine reverse_halo
 
-subroutine hydro(ilo, ihi, jlo, jhi, density0, density1, energy, energy1, pressure, viscosity, vol_flux, xvel, yvel, work)
+subroutine hydro(ilo, ihi, jlo, jhi, density0, density1, energy, energy1, pressure, viscosity, vol_flux, xvel, xvel1, yvel, yvel1, work)
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density0
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: density1
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: energy
@@ -151,7 +176,9 @@ real (kind=8), dimension(ilo:ihi, jlo:jhi) :: pressure
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: viscosity
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: vol_flux
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: xvel1
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel
+real (kind=8), dimension(ilo:ihi, jlo:jhi) :: yvel1
 real (kind=8), dimension(ilo:ihi, jlo:jhi) :: work
 integer :: ilo, ihi
 integer :: jlo, jhi
@@ -160,6 +187,7 @@ call ideal_gas(ilo, ihi, jlo, jhi, pressure, density0, energy)
 call viscosity_kernel(ilo, ihi, jlo, jhi, viscosity, xvel, yvel)
 call advec_cell(ilo, ihi, jlo, jhi, density1, density0, vol_flux)
 call update_energy(ilo, ihi, jlo, jhi, energy1, energy, pressure)
+call accelerate(ilo, ihi, jlo, jhi, xvel1, xvel, density0, yvel1, yvel, pressure)
 call apply_floor(ilo, ihi, jlo, jhi, density1)
 call reverse_halo(ilo, ihi, jlo, jhi, work, density1, viscosity)
 end subroutine hydro
@@ -218,7 +246,12 @@ end subroutine heat_driver
 
 
 def cloverleaf_mini_app() -> MiniApp:
-    """CloverLeaf-style hydro step: five liftable kernels, two fallbacks.
+    """CloverLeaf-style hydro step: seven liftable sites, two fallbacks.
+
+    ``accelerate`` holds two nests whose scalar temporary
+    (``stepbymass``) is re-initialised between them — dead after each
+    span, so both sites lift under the precise liveness pass while the
+    old name-mention heuristic demoted the first one.
 
     The driver chains the kernels so substituted outputs feed later
     kernels *and* the unliftable loops (``vol_flux`` → ``advec_cell``,
@@ -232,9 +265,10 @@ def cloverleaf_mini_app() -> MiniApp:
         source=_CLOVERLEAF_MINI,
         driver="hydro",
         grids=(8, 13, 21),
-        expected_liftable=5,
+        expected_liftable=7,
         expected_fallback=2,
-        notes="hydro step: flux, EOS, viscosity, advection, energy + "
+        notes="hydro step: flux, EOS, viscosity, advection, energy, "
+        "acceleration (two nests with a dead scalar temporary) + "
         "conditional floor and decrementing halo fallbacks",
     )
 

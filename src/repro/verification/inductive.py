@@ -120,242 +120,23 @@ REASON_BUDGET = "proof budget exhausted"
 # Linear arithmetic: Fourier–Motzkin with integer tightening
 # ---------------------------------------------------------------------------
 #
-# A constraint is ``sum_i coeff_i * atom_i + const >= 0`` (``> 0`` when
-# strict).  Atoms are the non-linear basis terms of ``simplify``'s
-# canonical form, keyed by repr; atoms known to be integer-valued allow
-# the classic tightenings (strict -> -1, gcd rounding), which is what
-# lets the engine conclude e.g. ``kt = klo + 4m ∧ kt > klo  ⟹  kt >=
-# klo + 4``.
+# The engine lives in :mod:`repro.analysis.presburger` (it is shared
+# with the static dependence/legality analyses); the prover uses it
+# under its historical local names.  Throughout the prover a constraint
+# is an ``(expr, strict)`` pair meaning ``expr >= 0`` (``> 0`` when
+# strict); expressions keep substitution and min/max expansion trivial,
+# and are linearised only at the FM boundary.
 
-
-class _Lin:
-    """One linear constraint over opaque atoms."""
-
-    __slots__ = ("terms", "const", "strict", "tight")
-
-    def __init__(self, terms: Dict[str, Tuple[Expr, Fraction]], const: Fraction, strict: bool):
-        self.terms = terms
-        self.const = const
-        self.strict = strict
-        self.tight = False
-
-    def key(self) -> Tuple:
-        return (
-            tuple(sorted((k, c) for k, (_a, c) in self.terms.items())),
-            self.const,
-            self.strict,
-        )
-
-
-def _linearize_ge0(expr: Expr, strict: bool) -> _Lin:
-    combo = _linearize(expr)
-    terms = {k: (atom, coeff) for k, (atom, coeff) in combo.terms.items() if coeff != 0}
-    return _Lin(terms, combo.constant, strict)
-
-
-def _is_int_atom(atom: Expr, int_syms: Set[str]) -> bool:
-    return isinstance(atom, Sym) and atom.name in int_syms
-
-
-def _tighten(lin: _Lin, int_syms: Set[str]) -> _Lin:
-    """Integer tightening: strict removal and gcd rounding when sound."""
-    if lin.tight:
-        return lin
-    if not all(_is_int_atom(atom, int_syms) for atom, _c in lin.terms.values()):
-        lin.tight = True
-        return lin
-    coeffs = [c for _a, c in lin.terms.values()]
-    if not coeffs:
-        if lin.strict and lin.const == int(lin.const):
-            result = _Lin({}, lin.const - 1, False)
-            result.tight = True
-            return result
-        lin.tight = True
-        return lin
-    from math import floor, gcd
-
-    scale = 1
-    for c in coeffs:
-        scale = scale * c.denominator // gcd(scale, c.denominator)
-    if lin.const.denominator != 1:
-        scale = scale * lin.const.denominator // gcd(scale, lin.const.denominator)
-    const = lin.const * scale
-    terms = {k: (a, c * scale) for k, (a, c) in lin.terms.items()}
-    strict = lin.strict
-    if strict:
-        # integral form: f > 0  <=>  f >= 1
-        const -= 1
-        strict = False
-    g = 0
-    for _a, c in terms.values():
-        g = gcd(g, int(c))
-    if g > 1:
-        # sum(a_i/g * x_i) >= -c/g  <=>  ... >= ceil(-c/g): floor the constant.
-        const = Fraction(floor(Fraction(const, g)))
-        terms = {k: (a, Fraction(int(c), g)) for k, (a, c) in terms.items()}
-    if scale == 1 and g <= 1 and strict == lin.strict and const == lin.const:
-        lin.tight = True
-        return lin
-    result = _Lin(terms, const, strict)
-    result.tight = True
-    return result
-
-
-class _FMEngine:
-    """Feasibility/entailment of conjunctions of linear constraints."""
-
-    def __init__(self, int_syms: Set[str], charge):
-        self.int_syms = int_syms
-        self._charge = charge  # callable ticking the proof budget
-
-    def infeasible(
-        self, lins: Sequence[_Lin], max_constraints: int = 256, focus_last: bool = False
-    ) -> bool:
-        """True only when the conjunction is definitely unsatisfiable.
-
-        With ``focus_last`` the system is restricted to the cone of
-        influence of the *last* constraint (the negated goal of an
-        entailment query): constraints transitively sharing atoms with
-        it.  Any Fourier–Motzkin refutation only ever combines
-        constraints along shared atoms, so the restriction loses no
-        refutations while keeping the system small enough to stay under
-        the elimination caps.
-        """
-        self._charge()
-        work: List[_Lin] = []
-        seen = set()
-        for lin in lins:
-            lin = _tighten(lin, self.int_syms)
-            if not lin.terms:
-                if lin.const < 0 or (lin.strict and lin.const == 0):
-                    return True
-                continue
-            key = lin.key()
-            if key not in seen:
-                seen.add(key)
-                work.append(lin)
-        if focus_last and work:
-            relevant = set(work[-1].terms)
-            selected = [work[-1]]
-            remaining = work[:-1]
-            changed = True
-            while changed:
-                changed = False
-                still = []
-                for lin in remaining:
-                    if relevant & set(lin.terms):
-                        selected.append(lin)
-                        relevant |= set(lin.terms)
-                        changed = True
-                    else:
-                        still.append(lin)
-                remaining = still
-            work = selected
-        atoms = sorted({k for lin in work for k in lin.terms})
-        if len(atoms) > 24:
-            return False
-        while atoms:
-            # Eliminate the atom with the cheapest pos*neg product.
-            # Alignment auxiliaries (``it_*``) go last: the integer
-            # (gcd) tightening that makes ``counter = lower + step*m``
-            # facts bite only fires on combinations still mentioning
-            # them, so eliminating them early loses integer-only
-            # contradictions that are rationally feasible.
-            candidates = [a for a in atoms if not a.startswith("it_")] or atoms
-            pos_counts: Dict[str, int] = {}
-            neg_counts: Dict[str, int] = {}
-            for lin in work:
-                for key, (_atom, coeff) in lin.terms.items():
-                    if coeff > 0:
-                        pos_counts[key] = pos_counts.get(key, 0) + 1
-                    else:
-                        neg_counts[key] = neg_counts.get(key, 0) + 1
-            best, best_cost = None, None
-            for atom in candidates:
-                cost = pos_counts.get(atom, 0) * neg_counts.get(atom, 0)
-                if best_cost is None or cost < best_cost:
-                    best, best_cost = atom, cost
-            atom = best
-            atoms.remove(atom)
-            pos = [lin for lin in work if lin.terms.get(atom, (None, Fraction(0)))[1] > 0]
-            neg = [lin for lin in work if lin.terms.get(atom, (None, Fraction(0)))[1] < 0]
-            rest = [lin for lin in work if atom not in lin.terms]
-            if len(rest) + len(pos) * len(neg) > max_constraints:
-                return False  # give up: cannot prove infeasibility
-            self._charge()
-            work = list(rest)
-            seen = {lin.key() for lin in work}
-            for p in pos:
-                self._charge()
-                a = p.terms[atom][1]
-                for n in neg:
-                    b = n.terms[atom][1]  # b < 0
-                    terms: Dict[str, Tuple[Expr, Fraction]] = {}
-                    for k, (at, c) in p.terms.items():
-                        terms[k] = (at, c * (-b))
-                    for k, (at, c) in n.terms.items():
-                        if k in terms:
-                            total = terms[k][1] + c * a
-                            if total == 0:
-                                del terms[k]
-                            else:
-                                terms[k] = (at, total)
-                        else:
-                            terms[k] = (at, c * a)
-                    combined = _tighten(
-                        _Lin(terms, p.const * (-b) + n.const * a, p.strict or n.strict),
-                        self.int_syms,
-                    )
-                    if not combined.terms:
-                        if combined.const < 0 or (combined.strict and combined.const == 0):
-                            return True
-                        continue
-                    key = combined.key()
-                    if key not in seen:
-                        seen.add(key)
-                        work.append(combined)
-        return False
-
-
-# ---------------------------------------------------------------------------
-# Constraints as expressions
-# ---------------------------------------------------------------------------
-#
-# Throughout the prover a constraint is an ``(expr, strict)`` pair
-# meaning ``expr >= 0`` (``> 0`` when strict); expressions keep
-# substitution and min/max expansion trivial, and are linearised only at
-# the FM boundary.
-
-Constraint = Tuple[Expr, bool]
-
-
-def _negate(constraint: Constraint) -> Constraint:
-    expr, strict = constraint
-    return (simplify(as_expr(0) - expr), not strict)
-
-
-def _subst_constraints(constraints: Sequence[Constraint], mapping: Mapping[Expr, Expr]) -> List[Constraint]:
-    from repro.symbolic.expr import substitute_map
-
-    # Only rewrite constraints that actually contain a mapped node —
-    # identity checks over the cached walk tuples make the common
-    # (unaffected) case nearly free.
-    ids = {id(key) for key in mapping}
-    out: List[Constraint] = []
-    for expr, strict in constraints:
-        if any(id(node) in ids for node in expr.walk()):
-            out.append((simplify(substitute_map(expr, mapping)), strict))
-        else:
-            out.append((expr, strict))
-    return out
-
-
-def _find_minmax(exprs: Iterator[Expr]) -> Optional[Call]:
-    for expr in exprs:
-        for node in expr.walk():
-            if isinstance(node, Call) and node.func in ("min", "max") and len(node.args) == 2:
-                return node
-    return None
+from repro.analysis.presburger import (
+    Constraint,
+    FMEngine as _FMEngine,
+    LinearConstraint as _Lin,
+    find_minmax as _find_minmax,
+    is_int_atom as _is_int_atom,
+    linearize_ge0 as _linearize_ge0,
+    negate_constraint as _negate,
+    substitute_constraints as _subst_constraints,
+)
 
 
 # ---------------------------------------------------------------------------

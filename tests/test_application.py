@@ -212,7 +212,8 @@ class TestTranslate:
         assert manifest["driver"] == "hydro"
         counts = manifest["counts"]
         assert counts["sites"] == counts["translated"] + counts["fallback"]
-        assert counts["translated"] == 5
+        assert counts["translated"] == 7
+        assert sum(counts["demotion_reasons"].values()) == counts["fallback"]
         by_name = {k["name"]: k for k in manifest["kernels"]}
         entry = by_name["viscosity_kernel_loop0"]
         assert entry["procedure"] == "viscosity_kernel"
@@ -373,6 +374,38 @@ class TestDifferentialExecution:
             bundle, grids=(6, 9, 12), grid_scalars=lambda n: {"ilo": 0, "ihi": n}
         )
         assert report.all_identical
+
+    def test_redefined_scalar_temporary_lifts_under_precise_liveness(self):
+        """The accelerate kernel is the liveness pass's headline win.
+
+        ``stepbymass`` is mentioned after the first loop nest — but only
+        to be *redefined* before any read, so its post-loop value is
+        unobservable.  The old mention-based heuristic demoted the site;
+        the dataflow pass (:mod:`repro.analysis.liveness`) proves it
+        dead and the site lifts.
+        """
+        app = cloverleaf_mini_app()
+        program = parse_source(app.source)
+        precise = scan_application(program)
+        legacy = scan_application(program, precise_liveness=False)
+        precise_by_name = {site.name: site for site in precise.sites}
+        legacy_by_name = {site.name: site for site in legacy.sites}
+        assert precise_by_name["accelerate_loop0"].liftable
+        assert not legacy_by_name["accelerate_loop0"].liftable
+        assert any(
+            "scalar temporaries live" in reason and "stepbymass" in reason
+            for reason in legacy_by_name["accelerate_loop0"].reasons
+        )
+        # Everything the heuristic lifted, the dataflow pass still lifts.
+        legacy_lifted = {s.name for s in legacy.liftable_sites}
+        precise_lifted = {s.name for s in precise.liftable_sites}
+        assert legacy_lifted < precise_lifted
+
+    def test_accelerate_sites_substitute_and_run_bitwise(self, bundles):
+        bundle = bundles["cloverleaf_mini"]
+        lifted = {tk.name for tk in bundle.translated}
+        assert "accelerate_loop0" in lifted
+        assert "accelerate_loop1" in lifted
 
     def test_rotation_kernel_substitutes_with_dead_locals(self):
         # Hand-optimised rotation scalars that die with the activation

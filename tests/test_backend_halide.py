@@ -103,8 +103,16 @@ class TestHalideLang:
     def test_schedule_validation(self):
         with pytest.raises(ScheduleError):
             Schedule().with_vectorize(3)
-        with pytest.raises(ScheduleError):
-            Schedule(parallel_dim=5).validate(2)
+
+    def test_out_of_range_parallel_dim_fails_at_lower_time(self):
+        from repro.halide.lower import lower
+
+        x = Var("x")
+        b = ImageParam("b", 1)
+        f = Func("range_check")
+        f[x] = b(x) * 2.0
+        with pytest.raises(ScheduleError, match="parallel dimension 5 out of range"):
+            lower(f, Schedule(parallel_dim=5))
 
     def test_schedule_describe(self):
         text = Schedule.baseline_parallel(2).describe()

@@ -423,19 +423,25 @@ class TestThreadedExecution:
             pytest.skip("toolchain has no working -pthread")
         # dim 1 is the outermost loop of a 2D nest (natural order is
         # innermost-first), so parallelising it produces the root chunk
-        # band the threaded emission dispatches.
-        threaded = emit_c_source(
-            lower(_cross2d(), Schedule(parallel_dim=1)), threaded=True
+        # band; parallelising dim 0 leaves the band below the root, and
+        # the race-free certificate from the static analyzer lets the
+        # emitter thread that too.
+        for schedule in (Schedule(parallel_dim=1), Schedule(parallel_dim=0)):
+            threaded = emit_c_source(lower(_cross2d(), schedule), threaded=True)
+            assert threaded.threaded, schedule.describe()
+            assert "pthread_create" in threaded.text
+        # Only a non-root band carries the serial-order error ordinal.
+        nonroot = emit_c_source(
+            lower(_cross2d(), Schedule(parallel_dim=0)),
+            strict_bounds=True,
+            threaded=True,
         )
-        assert threaded.threaded
-        assert "pthread_create" in threaded.text
+        assert "rk_pos" in nonroot.text
         # A schedule with no parallel band compiles serial even when the
-        # emitter is allowed to thread; so does a parallel band that is
-        # not outermost.
-        for schedule in (Schedule(), Schedule(parallel_dim=0)):
-            serial = emit_c_source(lower(_cross2d(), schedule), threaded=True)
-            assert not serial.threaded
-            assert "pthread_create" not in serial.text
+        # emitter is allowed to thread.
+        serial = emit_c_source(lower(_cross2d(), Schedule()), threaded=True)
+        assert not serial.threaded
+        assert "pthread_create" not in serial.text
 
     def test_per_call_thread_override(self):
         func = _weighted2d()
